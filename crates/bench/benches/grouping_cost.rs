@@ -1,0 +1,41 @@
+//! Cost of the Figure 14 grouping pass, which the manager re-runs on
+//! every location update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare::grouping::find_leaders_trailers;
+use scanshare::anchor::AnchorId;
+use scanshare::ScanId;
+use std::hint::black_box;
+
+fn scans(n: usize, anchors: u64) -> Vec<(ScanId, AnchorId, i64)> {
+    (0..n)
+        .map(|i| {
+            (
+                ScanId(i as u64),
+                AnchorId(i as u64 % anchors),
+                ((i as i64 * 7919) % 100_000).abs(),
+            )
+        })
+        .collect()
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("find_leaders_trailers");
+    for &n in &[2usize, 8, 32, 128] {
+        let s = scans(n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| black_box(find_leaders_trailers(s, 10_000)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_grouping_one_anchor(c: &mut Criterion) {
+    let s = scans(64, 1);
+    c.bench_function("find_leaders_trailers_single_chain_64", |b| {
+        b.iter(|| black_box(find_leaders_trailers(&s, 50_000)))
+    });
+}
+
+criterion_group!(benches, bench_grouping, bench_grouping_one_anchor);
+criterion_main!(benches);

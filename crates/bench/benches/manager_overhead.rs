@@ -1,0 +1,84 @@
+//! Host-time cost of the sharing manager's calls — the paper's "well
+//! below 1% of end-to-end time" claim depends on `startSISCAN`,
+//! `updateSISCANLocation`, `pr()` and `endSISCAN` being cheap even with
+//! many concurrent scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanSharingManager, SharingConfig};
+use scanshare_storage::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn desc(object: u64, lo: i64, hi: i64) -> ScanDesc {
+    ScanDesc {
+        kind: ScanKind::Index,
+        object: ObjectId(object),
+        start_key: lo,
+        end_key: hi,
+        est_pages: 10_000,
+        est_time: SimDuration::from_secs(10),
+        priority: Default::default(),
+    }
+}
+
+/// A manager preloaded with `n` ongoing scans spread over 4 objects.
+fn manager_with_scans(n: usize) -> (ScanSharingManager, Vec<ScanId>) {
+    let mgr = ScanSharingManager::new(SharingConfig::new(100_000));
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let (id, _) = mgr.start_scan(desc((i % 4) as u64, 0, 1000), SimTime::ZERO);
+        let t = SimTime::from_millis(10 * (i as u64 + 1));
+        mgr.update_location(
+            id,
+            t,
+            Location::new((i as i64 * 37) % 1000, i as u64 * 131),
+            64,
+        );
+        ids.push(id);
+    }
+    (mgr, ids)
+}
+
+fn bench_update_location(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_location");
+    for &n in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mgr, ids) = manager_with_scans(n);
+            let mut t = 1_000_000u64;
+            let mut pos = 0u64;
+            b.iter(|| {
+                t += 1000;
+                pos += 16;
+                black_box(mgr.update_location(
+                    ids[0],
+                    SimTime::from_micros(t),
+                    Location::new((pos % 1000) as i64, pos),
+                    16,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_start_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("start_end_scan");
+    for &n in &[1usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mgr, _) = manager_with_scans(n);
+            b.iter(|| {
+                let (id, d) = mgr.start_scan(desc(0, 0, 1000), SimTime::from_secs(1));
+                black_box(&d);
+                mgr.end_scan(id, SimTime::from_secs(1));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_priority(c: &mut Criterion) {
+    let (mgr, ids) = manager_with_scans(16);
+    c.bench_function("pr()", |b| b.iter(|| black_box(mgr.page_priority(ids[7]))));
+}
+
+criterion_group!(benches, bench_update_location, bench_start_end, bench_page_priority);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Cost of the two placement algorithms vs. the number of ongoing scans:
+//! the paper bounds the optimal "interesting locations" search at
+//! O(|S|³) and the practical anchor-group variant at O(|S|²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare::placement::{best_start_optimal, best_start_practical, calculate_reads, Trace};
+use std::hint::black_box;
+
+fn members(n: usize) -> Vec<Trace> {
+    (0..n)
+        .map(|i| {
+            let pos = (i as f64 * 137.0) % 5000.0;
+            let speed = 50.0 + (i as f64 * 17.0) % 300.0;
+            Trace::new(pos, speed, pos + 2000.0)
+        })
+        .collect()
+}
+
+fn bench_calculate_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calculate_reads");
+    for &n in &[1usize, 4, 16, 64] {
+        let m = members(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                black_box(calculate_reads(
+                    m,
+                    Trace::new(100.0, 100.0, 2100.0),
+                    500.0,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_practical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_start_practical");
+    for &n in &[1usize, 4, 16, 64] {
+        let m = members(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(best_start_practical(m, 100.0, 2000.0, 500.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_start_optimal");
+    g.sample_size(20);
+    for &n in &[1usize, 4, 16, 32] {
+        let m = members(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                black_box(best_start_optimal(
+                    m,
+                    100.0,
+                    2000.0,
+                    500.0,
+                    (0.0, 5000.0),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_calculate_reads, bench_practical, bench_optimal);
+criterion_main!(benches);

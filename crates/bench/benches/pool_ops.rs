@@ -1,0 +1,72 @@
+//! Buffer pool fix/release throughput under both replacement policies.
+//! The priority-aware policy must not cost measurably more than LRU —
+//! the paper's whole approach assumes the caching system stays cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare_storage::{
+    page::zeroed_page, BufferPool, FileId, FixOutcome, PageId, PagePriority, PoolConfig,
+    ReplacementPolicy,
+};
+use std::hint::black_box;
+
+fn run_mixed(pool: &mut BufferPool, buf: &scanshare_storage::PageBuf, i: u64) {
+    // 3:1 hot/cold mix over a working set twice the pool size.
+    let page = if i.is_multiple_of(4) {
+        (i * 2654435761) % 2048
+    } else {
+        i % 512
+    } as u32;
+    let id = PageId::new(FileId(0), page);
+    match pool.fix(id) {
+        FixOutcome::Hit(_) => {}
+        FixOutcome::Miss => pool.complete_miss(id, buf.clone()).unwrap(),
+    }
+    let prio = match i % 3 {
+        0 => PagePriority::Low,
+        1 => PagePriority::Normal,
+        _ => PagePriority::High,
+    };
+    pool.release(id, prio).unwrap();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_fix_release");
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::PriorityLru] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
+                let buf = zeroed_page().freeze();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    run_mixed(&mut pool, &buf, i);
+                    black_box(pool.len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut pool = BufferPool::new(PoolConfig::new(64, ReplacementPolicy::PriorityLru));
+    let buf = zeroed_page().freeze();
+    let id = PageId::new(FileId(0), 7);
+    match pool.fix(id) {
+        FixOutcome::Hit(_) => {}
+        FixOutcome::Miss => pool.complete_miss(id, buf).unwrap(),
+    }
+    pool.release(id, PagePriority::Normal).unwrap();
+    c.bench_function("pool_hot_hit", |b| {
+        b.iter(|| {
+            let out = pool.fix(id);
+            black_box(&out);
+            pool.release(id, PagePriority::High).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_hit_path);
+criterion_main!(benches);

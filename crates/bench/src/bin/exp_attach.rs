@@ -1,0 +1,122 @@
+//! A8: QPipe-style attach vs the paper's placement + throttling.
+//!
+//! Related work [19] (Harizopoulos et al.) shares scans by letting new
+//! operators *attach* to an ongoing scan's page stream. The paper's
+//! critique: "while this approach works well for scans with similar
+//! speeds, in practice scan speeds can vary by large margins … the
+//! benefit can be lower as scans may start drifting apart."
+//!
+//! Workload A (homogeneous): several Q6-like scans of the same year —
+//! attach should do almost as well as the full mechanism.
+//! Workload B (heterogeneous): the same ranges scanned by a mix of
+//! CPU-heavy and I/O-light queries — attach drifts, the paper's
+//! throttled groups hold together.
+
+use scanshare::SharingConfig;
+use scanshare_bench::*;
+use scanshare_engine::{
+    run_workload, Access, AggSpec, CpuClass, Pred, Query, ScanSpec, SharingMode, Stream,
+    WorkloadSpec,
+};
+use scanshare_storage::SimDuration;
+use scanshare_tpch::gen::lineitem_cols as li;
+use scanshare_tpch::workload::paper_pool_pages;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AttachRow {
+    workload: String,
+    mode: String,
+    makespan_s: f64,
+    pages_read: u64,
+    gain_vs_base_pct: f64,
+}
+
+fn li_scan(name: &str, lo: i64, hi: i64, cpu: CpuClass) -> Query {
+    Query::single(
+        name,
+        ScanSpec {
+            table: "lineitem".into(),
+            access: Access::IndexRange { lo, hi },
+            pred: Pred::True,
+            agg: AggSpec::sums(vec![li::EXTENDEDPRICE]),
+            cpu,
+            require_order: false,
+            query_priority: Default::default(),
+            repeat: 1,
+        },
+    )
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let last = cfg.last_month();
+    let lo = last - 23;
+
+    let homogeneous: Vec<Stream> = (0..4)
+        .map(|i| Stream {
+            queries: vec![li_scan("even", lo, last, CpuClass::io_bound())],
+            start_offset: SimDuration::from_millis(80 * i),
+        })
+        .collect();
+    let heterogeneous: Vec<Stream> = (0..4)
+        .map(|i| {
+            let cpu = if i % 2 == 0 {
+                CpuClass::io_bound()
+            } else {
+                CpuClass::cpu_bound() // 6x the per-row work: a slow reader
+            };
+            Stream {
+                queries: vec![li_scan(if i % 2 == 0 { "fast" } else { "slow" }, lo, last, cpu)],
+                start_offset: SimDuration::from_millis(80 * i),
+            }
+        })
+        .collect();
+
+    let modes: Vec<(&str, SharingMode)> = vec![
+        ("base", SharingMode::Base),
+        (
+            "attach (QPipe [19])",
+            SharingMode::ScanSharing(SharingConfig::attach_baseline(0)),
+        ),
+        ("full SS (paper)", ss_mode()),
+    ];
+
+    let mut rows = Vec::new();
+    for (wname, streams) in [("homogeneous", &homogeneous), ("heterogeneous", &heterogeneous)] {
+        println!("\n== A8/{wname}: 4 overlapping 2-year scans ==");
+        println!("{:<22} {:>10} {:>12} {:>8}", "mode", "time (s)", "pages read", "gain");
+        let mut base_time = 0.0;
+        for (mname, mode) in &modes {
+            let spec = WorkloadSpec {
+                streams: streams.clone(),
+                pool_pages: paper_pool_pages(&db),
+                engine: Default::default(),
+                mode: mode.clone(),
+            };
+            let r = run_workload(&db, &spec).expect("run");
+            let t = r.makespan.as_secs_f64();
+            if base_time == 0.0 {
+                base_time = t;
+            }
+            println!(
+                "{:<22} {:>10.2} {:>12} {:>7.1}%",
+                mname,
+                t,
+                r.disk.pages_read,
+                pct_gain(base_time, t)
+            );
+            rows.push(AttachRow {
+                workload: wname.to_string(),
+                mode: mname.to_string(),
+                makespan_s: t,
+                pages_read: r.disk.pages_read,
+                gain_vs_base_pct: pct_gain(base_time, t),
+            });
+        }
+    }
+    println!("\nexpected shape: attach ~ full SS on homogeneous speeds; on mixed");
+    println!("speeds attach drifts apart and the paper's throttled groups win.");
+    dump_json("attach", &rows);
+}

@@ -1,0 +1,75 @@
+//! Figure 17: amount of data read from disk over time, base vs SS.
+//!
+//! The paper: the scan-sharing run shows the same jitter (different
+//! queries overlapping over time) but reads less in most time units and
+//! ends sooner.
+
+use scanshare_bench::*;
+use scanshare_engine::SharingMode;
+use scanshare_storage::PAGE_SIZE;
+use scanshare_tpch::throughput_workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig17 {
+    bucket_seconds: f64,
+    base_kb_per_bucket: Vec<u64>,
+    ss_kb_per_bucket: Vec<u64>,
+    base_total_kb: u64,
+    ss_total_kb: u64,
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let months = cfg.months as i64;
+    let base = throughput_workload(&db, 5, months, cfg.seed, SharingMode::Base);
+    let ss = throughput_workload(&db, 5, months, cfg.seed, ss_mode());
+    let (rb, rs) = run_pair(&db, &base, &ss);
+
+    let kb = |pages: u64| pages * PAGE_SIZE as u64 / 1024;
+    let base_kb: Vec<u64> = rb.read_series.buckets().iter().map(|&p| kb(p)).collect();
+    let ss_kb: Vec<u64> = rs.read_series.buckets().iter().map(|&p| kb(p)).collect();
+
+    println!("\n== Figure 17: KB read from disk per time unit ==");
+    let peak = rb
+        .read_series
+        .buckets()
+        .iter()
+        .chain(rs.read_series.buckets())
+        .copied()
+        .max()
+        .unwrap_or(1);
+    println!("{}", ascii_series("base", &rb.read_series, 64, peak));
+    println!("{}", ascii_series("SS", &rs.read_series, 64, peak));
+    println!(
+        "totals: base {} KB over {:.1}s, SS {} KB over {:.1}s",
+        base_kb.iter().sum::<u64>(),
+        rb.makespan.as_secs_f64(),
+        ss_kb.iter().sum::<u64>(),
+        rs.makespan.as_secs_f64()
+    );
+    println!("paper reports: same jitter, lower reads in most time units, run ends sooner.");
+
+    println!("\n t(s)    base KB      SS KB");
+    let n = base_kb.len().max(ss_kb.len());
+    for i in 0..n {
+        println!(
+            "{:>5} {:>10} {:>10}",
+            i,
+            base_kb.get(i).copied().unwrap_or(0),
+            ss_kb.get(i).copied().unwrap_or(0)
+        );
+    }
+
+    dump_json(
+        "fig17",
+        &Fig17 {
+            bucket_seconds: rb.read_series.bucket_us() as f64 / 1e6,
+            base_total_kb: base_kb.iter().sum(),
+            ss_total_kb: ss_kb.iter().sum(),
+            base_kb_per_bucket: base_kb,
+            ss_kb_per_bucket: ss_kb,
+        },
+    );
+}

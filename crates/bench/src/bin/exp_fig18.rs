@@ -1,0 +1,70 @@
+//! Figure 18: disk seeks per time unit, base vs SS.
+//!
+//! The paper: "with our prototype, scans are synchronized and thus tend
+//! to reuse the pages demanded by each other … they demand [the same
+//! page set] in such an order that the disk has to seek less often."
+
+use scanshare_bench::*;
+use scanshare_engine::SharingMode;
+use scanshare_tpch::throughput_workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig18 {
+    bucket_seconds: f64,
+    base_seeks_per_bucket: Vec<u64>,
+    ss_seeks_per_bucket: Vec<u64>,
+    base_total_seeks: u64,
+    ss_total_seeks: u64,
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let months = cfg.months as i64;
+    let base = throughput_workload(&db, 5, months, cfg.seed, SharingMode::Base);
+    let ss = throughput_workload(&db, 5, months, cfg.seed, ss_mode());
+    let (rb, rs) = run_pair(&db, &base, &ss);
+
+    println!("\n== Figure 18: disk seeks per time unit ==");
+    let peak = rb
+        .seek_series
+        .buckets()
+        .iter()
+        .chain(rs.seek_series.buckets())
+        .copied()
+        .max()
+        .unwrap_or(1);
+    println!("{}", ascii_series("base", &rb.seek_series, 64, peak));
+    println!("{}", ascii_series("SS", &rs.seek_series, 64, peak));
+    println!(
+        "totals: base {} seeks, SS {} seeks ({:.1}% fewer)",
+        rb.disk.seeks,
+        rs.disk.seeks,
+        pct_gain(rb.disk.seeks as f64, rs.disk.seeks as f64)
+    );
+    println!("paper reports: seeks much reduced during most time intervals.");
+
+    println!("\n t(s)   base seeks   SS seeks");
+    let b = rb.seek_series.buckets();
+    let s = rs.seek_series.buckets();
+    for i in 0..b.len().max(s.len()) {
+        println!(
+            "{:>5} {:>11} {:>10}",
+            i,
+            b.get(i).copied().unwrap_or(0),
+            s.get(i).copied().unwrap_or(0)
+        );
+    }
+
+    dump_json(
+        "fig18",
+        &Fig18 {
+            bucket_seconds: rb.seek_series.bucket_us() as f64 / 1e6,
+            base_seeks_per_bucket: b.to_vec(),
+            ss_seeks_per_bucket: s.to_vec(),
+            base_total_seeks: rb.disk.seeks,
+            ss_total_seeks: rs.disk.seeks,
+        },
+    );
+}

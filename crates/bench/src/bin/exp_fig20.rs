@@ -1,0 +1,57 @@
+//! Figure 20: per-query average execution times of the 5-stream run.
+//!
+//! The paper: gains vary per query but *no query shows a negative
+//! effect* — throttling's cost is spread for mutual benefit — and
+//! scan-heavy queries (their Q21) benefit most.
+
+use scanshare_bench::*;
+use scanshare_engine::SharingMode;
+use scanshare_tpch::{throughput_workload, QUERY_NAMES};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig20Row {
+    query: String,
+    base_avg_s: f64,
+    ss_avg_s: f64,
+    gain_pct: f64,
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let months = cfg.months as i64;
+    let base = throughput_workload(&db, 5, months, cfg.seed, SharingMode::Base);
+    let ss = throughput_workload(&db, 5, months, cfg.seed, ss_mode());
+    let (rb, rs) = run_pair(&db, &base, &ss);
+
+    println!("\n== Figure 20: average per-query execution time (5 streams) ==");
+    println!("{:<6} {:>10} {:>10} {:>8}", "query", "base (s)", "SS (s)", "gain");
+    let mut rows = Vec::new();
+    let mut negative = 0;
+    for name in QUERY_NAMES {
+        let b = rb.avg_query_time(name).expect("query ran").as_secs_f64();
+        let s = rs.avg_query_time(name).expect("query ran").as_secs_f64();
+        let g = pct_gain(b, s);
+        if g < -1.0 {
+            negative += 1;
+        }
+        println!("{name:<6} {b:>10.2} {s:>10.2} {g:>7.1}%");
+        rows.push(Fig20Row {
+            query: name.to_string(),
+            base_avg_s: b,
+            ss_avg_s: s,
+            gain_pct: g,
+        });
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.gain_pct.partial_cmp(&b.gain_pct).unwrap())
+        .unwrap();
+    println!(
+        "\nbest gain: {} at {:.1}%; queries with >1% regression: {negative}",
+        best.query, best.gain_pct
+    );
+    println!("paper reports: no query shows a negative effect; Q21 benefits most.");
+    dump_json("fig20", &rows);
+}

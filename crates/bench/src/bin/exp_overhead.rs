@@ -1,0 +1,59 @@
+//! E0: single-stream overhead of the sharing machinery.
+//!
+//! The paper: "the observed overhead in the first experiment was well
+//! below 1% of the end-to-end time." With a single stream there is
+//! nothing to share, so any difference between base and scan-sharing is
+//! pure manager overhead. In the simulator the manager's *decisions*
+//! cost no virtual time (as in the paper, the calls are cheap); what
+//! this experiment verifies is that its decisions (placement, priorities)
+//! never *hurt* a lone stream. The host-time cost of the manager calls
+//! themselves is measured by the `manager_overhead` criterion bench.
+
+use scanshare_bench::*;
+use scanshare_engine::SharingMode;
+use scanshare_tpch::throughput_workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Overhead {
+    base_s: f64,
+    ss_s: f64,
+    overhead_pct: f64,
+    base_reads: u64,
+    ss_reads: u64,
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let months = cfg.months as i64;
+    let base = throughput_workload(&db, 1, months, cfg.seed, SharingMode::Base);
+    let ss = throughput_workload(&db, 1, months, cfg.seed, ss_mode());
+    let (rb, rs) = run_pair(&db, &base, &ss);
+
+    let overhead = (rs.makespan.as_secs_f64() / rb.makespan.as_secs_f64() - 1.0) * 100.0;
+    println!("\n== E0: single-stream TPC-H, sharing on vs off ==");
+    println!("base: {:.2}s   scan-sharing: {:.2}s", rb.makespan.as_secs_f64(), rs.makespan.as_secs_f64());
+    println!("overhead: {overhead:+.2}% (paper: well below 1%)");
+    println!(
+        "reads: base {} pages, ss {} pages",
+        rb.disk.pages_read, rs.disk.pages_read
+    );
+    if overhead.abs() <= 1.0 {
+        println!("PASS: within the paper's <1% bound");
+    } else if overhead < 0.0 {
+        println!("NOTE: sharing helped even a single stream (intra-stream reuse)");
+    } else {
+        println!("FAIL: overhead exceeds 1%");
+    }
+    dump_json(
+        "overhead",
+        &Overhead {
+            base_s: rb.makespan.as_secs_f64(),
+            ss_s: rs.makespan.as_secs_f64(),
+            overhead_pct: overhead,
+            base_reads: rb.disk.pages_read,
+            ss_reads: rs.disk.pages_read,
+        },
+    );
+}

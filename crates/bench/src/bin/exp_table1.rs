@@ -1,0 +1,78 @@
+//! Table 1: 5-stream TPC-H throughput run.
+//!
+//! The paper reports, for its DB2 prototype on the HP box:
+//! end-to-end gain 21 %, average disk-read gain 33 %, average disk-seek
+//! gain 34 %. This binary runs the same 5-stream workload shape against
+//! the simulated engine in base and scan-sharing modes and prints the
+//! same three rows.
+
+use scanshare_bench::*;
+use scanshare_engine::SharingMode;
+use scanshare_tpch::throughput_workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1 {
+    end_to_end_gain_pct: f64,
+    disk_read_gain_pct: f64,
+    disk_seek_gain_pct: f64,
+    base_makespan_s: f64,
+    ss_makespan_s: f64,
+    base_pages_read: u64,
+    ss_pages_read: u64,
+    base_seeks: u64,
+    ss_seeks: u64,
+    throttle_waits: u64,
+    scans_joined: u64,
+}
+
+fn main() {
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    let months = cfg.months as i64;
+    let base = throughput_workload(&db, 5, months, cfg.seed, SharingMode::Base);
+    let ss = throughput_workload(&db, 5, months, cfg.seed, ss_mode());
+    let (rb, rs) = run_pair(&db, &base, &ss);
+
+    let rows = vec![
+        GainRow::new(
+            "end-to-end time (s)",
+            rb.makespan.as_secs_f64(),
+            rs.makespan.as_secs_f64(),
+        ),
+        GainRow::new(
+            "disk reads (pages)",
+            rb.disk.pages_read as f64,
+            rs.disk.pages_read as f64,
+        ),
+        GainRow::new("disk seeks", rb.disk.seeks as f64, rs.disk.seeks as f64),
+    ];
+    print_gain_table("Table 1: 5-stream TPC-H throughput", &rows);
+    println!(
+        "\npaper reports: end-to-end 21%, disk reads 33%, disk seeks 34%"
+    );
+    println!(
+        "sharing decisions: {} joins, {} fresh starts, {} throttle waits ({} total)",
+        rs.sharing.scans_joined + rs.sharing.scans_joined_finished,
+        rs.sharing.scans_from_start,
+        rs.sharing.waits_injected,
+        rs.sharing.total_wait,
+    );
+
+    dump_json(
+        "table1",
+        &Table1 {
+            end_to_end_gain_pct: rows[0].gain_pct,
+            disk_read_gain_pct: rows[1].gain_pct,
+            disk_seek_gain_pct: rows[2].gain_pct,
+            base_makespan_s: rb.makespan.as_secs_f64(),
+            ss_makespan_s: rs.makespan.as_secs_f64(),
+            base_pages_read: rb.disk.pages_read,
+            ss_pages_read: rs.disk.pages_read,
+            base_seeks: rb.disk.seeks,
+            ss_seeks: rs.disk.seeks,
+            throttle_waits: rs.sharing.waits_injected,
+            scans_joined: rs.sharing.scans_joined,
+        },
+    );
+}

@@ -1,0 +1,214 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one experiment:
+//!
+//! | binary         | paper artifact |
+//! |----------------|----------------|
+//! | `exp_overhead` | §8 text: single-stream overhead well below 1 % |
+//! | `exp_fig15`    | Figure 15: 3 staggered Q6 streams (I/O-intensive) |
+//! | `exp_fig16`    | Figure 16: 3 staggered Q1 streams (CPU-intensive) |
+//! | `exp_fig17`    | Figure 17: disk reads over time, base vs SS |
+//! | `exp_fig18`    | Figure 18: disk seeks over time, base vs SS |
+//! | `exp_table1`   | Table 1: 5-stream TPC-H end-to-end/read/seek gains |
+//! | `exp_fig19`    | Figure 19: per-stream gains |
+//! | `exp_fig20`    | Figure 20: per-query gains |
+//! | `exp_fig8_9`   | Figures 8/9: sharing-potential estimates |
+//! | `exp_ablation` | A1: placement / throttling / priorities toggles |
+//! | `exp_scope`    | A2: table-scan-only (ICDE) vs +index (VLDB) scope |
+//! | `exp_fairness` | A3: fairness-cap sweep |
+//!
+//! Every binary prints a human-readable table and writes the raw numbers
+//! as JSON under `results/`. Scale via `SCANSHARE_SCALE` (default 1.0)
+//! and seed via `SCANSHARE_SEED` (default 42).
+
+use scanshare::SharingConfig;
+use scanshare_engine::{run_workload, Database, RunReport, SharingMode, WorkloadSpec};
+use scanshare_storage::TimeSeries;
+use scanshare_tpch::{generate, TpchConfig};
+use serde::Serialize;
+
+/// Scale/seed configuration read from the environment.
+pub fn experiment_config() -> TpchConfig {
+    let scale: f64 = std::env::var("SCANSHARE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let seed: u64 = std::env::var("SCANSHARE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    TpchConfig {
+        scale,
+        seed,
+        ..TpchConfig::default()
+    }
+}
+
+/// Generate the experiment database, logging its size.
+pub fn build_database(cfg: &TpchConfig) -> Database {
+    eprintln!(
+        "generating TPC-H-like database (scale {}, seed {}) ...",
+        cfg.scale, cfg.seed
+    );
+    let db = generate(cfg);
+    eprintln!(
+        "  tables: {:?}, total pages: {}",
+        db.table_names(),
+        db.total_table_pages()
+    );
+    db
+}
+
+/// The full-featured scan-sharing mode (pool size filled in by the run).
+pub fn ss_mode() -> SharingMode {
+    SharingMode::ScanSharing(SharingConfig::new(0))
+}
+
+/// Stagger offset proportional to a query's solo runtime: run the query
+/// once alone and take `frac` of its elapsed time. The paper staggers by
+/// 10 s against a 100 GB database; a fixed fraction keeps the overlap
+/// geometry identical across scales.
+pub fn calibrated_stagger(
+    db: &Database,
+    query: &scanshare_engine::Query,
+    frac: f64,
+) -> scanshare_storage::SimDuration {
+    let solo = scanshare_tpch::staggered_workload(
+        db,
+        query,
+        1,
+        scanshare_storage::SimDuration::ZERO,
+        SharingMode::Base,
+    );
+    let r = run_workload(db, &solo).expect("solo calibration run");
+    let us = (r.makespan.as_micros() as f64 * frac) as u64;
+    eprintln!(
+        "calibration: solo run {:.2}s -> stagger {:.2}s",
+        r.makespan.as_secs_f64(),
+        us as f64 / 1e6
+    );
+    scanshare_storage::SimDuration::from_micros(us.max(1))
+}
+
+/// Run base and scan-sharing variants of a workload.
+pub fn run_pair(db: &Database, base: &WorkloadSpec, ss: &WorkloadSpec) -> (RunReport, RunReport) {
+    eprintln!("running base ...");
+    let rb = run_workload(db, base).expect("base run");
+    eprintln!(
+        "  base makespan: {} ({} pages read, {} seeks)",
+        rb.makespan, rb.disk.pages_read, rb.disk.seeks
+    );
+    eprintln!("running scan-sharing ...");
+    let rs = run_workload(db, ss).expect("ss run");
+    eprintln!(
+        "  ss makespan:   {} ({} pages read, {} seeks)",
+        rs.makespan, rs.disk.pages_read, rs.disk.seeks
+    );
+    (rb, rs)
+}
+
+/// Percent improvement of `ss` over `base`.
+pub fn pct_gain(base: f64, ss: f64) -> f64 {
+    scanshare_engine::metrics::gain(base, ss) * 100.0
+}
+
+/// Render a compact ASCII bar chart of a series (re-binned to `bins`).
+pub fn ascii_series(label: &str, series: &TimeSeries, bins: usize, peak: u64) -> String {
+    let data = series.rebin(bins);
+    let peak = peak.max(1);
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = format!("{label:>6} |");
+    for v in &data {
+        let h = ((v * 9) / peak).min(9) as usize;
+        out.push(ramp[h] as char);
+    }
+    out.push('|');
+    out
+}
+
+/// Write an experiment's raw numbers to `results/<name>.json`.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("json dump failed: {e}"),
+    }
+}
+
+/// A two-column (base vs SS) summary row.
+#[derive(Debug, Serialize)]
+pub struct GainRow {
+    /// Metric name.
+    pub metric: String,
+    /// Base value.
+    pub base: f64,
+    /// Scan-sharing value.
+    pub ss: f64,
+    /// Percent gain.
+    pub gain_pct: f64,
+}
+
+impl GainRow {
+    /// Build a row.
+    pub fn new(metric: impl Into<String>, base: f64, ss: f64) -> Self {
+        let metric = metric.into();
+        GainRow {
+            gain_pct: pct_gain(base, ss),
+            metric,
+            base,
+            ss,
+        }
+    }
+}
+
+/// Print rows as an aligned table.
+pub fn print_gain_table(title: &str, rows: &[GainRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "metric", "base", "scan-sharing", "gain"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:>14.2} {:>14.2} {:>8.1}%",
+            r.metric, r.base, r.ss, r.gain_pct
+        );
+    }
+}
+
+/// Print the CPU breakdown of a run as percentages (Figures 15/16 left).
+pub fn print_breakdown(label: &str, report: &RunReport) {
+    let (u, s, i, w) = report.breakdown.percentages();
+    println!("{label:<6} user {u:5.1}%  system {s:5.1}%  idle {i:5.1}%  iowait {w:5.1}%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_storage::SimTime;
+
+    #[test]
+    fn gain_row_computes_percentage() {
+        let r = GainRow::new("x", 100.0, 79.0);
+        assert!((r.gain_pct - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_series_is_fixed_width() {
+        let mut s = TimeSeries::new(1000);
+        for i in 0..100 {
+            s.add(SimTime::from_micros(i * 1000), i);
+        }
+        let line = ascii_series("base", &s, 40, s.buckets().iter().copied().max().unwrap());
+        assert_eq!(line.chars().filter(|&c| c == '|').count(), 2);
+        assert!(line.len() >= 40);
+    }
+}

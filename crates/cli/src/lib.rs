@@ -1,0 +1,485 @@
+//! Library half of the `scanshare` command-line driver.
+//!
+//! The CLI runs scan-sharing comparisons without writing any Rust:
+//!
+//! ```sh
+//! scanshare throughput --streams 5 --scale 0.5      # Table-1-style run
+//! scanshare staggered --query q6 --copies 3         # Figure-15-style run
+//! scanshare spec-template > myrun.json              # editable spec
+//! scanshare run --spec myrun.json --compare         # base vs sharing
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies): flags are
+//! `--name value` pairs validated against each subcommand's schema.
+
+use scanshare::SharingConfig;
+use scanshare_engine::{run_workload, Database, RunReport, SharingMode, WorkloadSpec};
+use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained run description: the database to generate plus the
+/// workload to execute against it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Data generator configuration.
+    pub tpch: TpchConfig,
+    /// The workload (streams, pool, engine, mode).
+    pub workload: WorkloadSpec,
+}
+
+impl RunSpec {
+    /// A small editable example spec.
+    pub fn template() -> Self {
+        let tpch = TpchConfig {
+            scale: 0.2,
+            ..TpchConfig::default()
+        };
+        let db = generate(&tpch);
+        let workload = throughput_workload(
+            &db,
+            2,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        RunSpec { tpch, workload }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `throughput --streams N --scale S --seed X` (always compares
+    /// base vs scan-sharing — that is the point of the run)
+    Throughput {
+        streams: usize,
+        scale: f64,
+        seed: u64,
+    },
+    /// `staggered --query q1|q6 --copies N --scale S [--stagger-frac F]`
+    Staggered {
+        query: String,
+        copies: usize,
+        scale: f64,
+        seed: u64,
+        stagger_frac: f64,
+    },
+    /// `run --spec FILE [--db FILE] [--compare]`
+    Run {
+        spec: String,
+        db: Option<String>,
+        compare: bool,
+    },
+    /// `generate --scale S --seed X --out FILE`
+    Generate {
+        scale: f64,
+        seed: u64,
+        out: String,
+    },
+    /// `spec-template`
+    SpecTemplate,
+    /// `help`
+    Help,
+}
+
+/// Error from argument parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, UsageError> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| UsageError(format!("invalid value '{v}' for {name}"))),
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "throughput" => Ok(Command::Throughput {
+            streams: parse_flag(args, "--streams", 3)?,
+            scale: parse_flag(args, "--scale", 0.5)?,
+            seed: parse_flag(args, "--seed", 42)?,
+        }),
+        "staggered" => {
+            let query: String = parse_flag(args, "--query", "q6".to_string())?;
+            if query != "q1" && query != "q6" {
+                return Err(UsageError(format!(
+                    "unknown query '{query}' (expected q1 or q6)"
+                )));
+            }
+            Ok(Command::Staggered {
+                query,
+                copies: parse_flag(args, "--copies", 3)?,
+                scale: parse_flag(args, "--scale", 0.5)?,
+                seed: parse_flag(args, "--seed", 42)?,
+                stagger_frac: parse_flag(args, "--stagger-frac", 0.15)?,
+            })
+        }
+        "run" => {
+            let spec = flag_value(args, "--spec")
+                .ok_or_else(|| UsageError("run requires --spec FILE".into()))?
+                .to_string();
+            Ok(Command::Run {
+                spec,
+                db: flag_value(args, "--db").map(String::from),
+                compare: args.iter().any(|a| a == "--compare"),
+            })
+        }
+        "generate" => Ok(Command::Generate {
+            scale: parse_flag(args, "--scale", 0.5)?,
+            seed: parse_flag(args, "--seed", 42)?,
+            out: flag_value(args, "--out")
+                .ok_or_else(|| UsageError("generate requires --out FILE".into()))?
+                .to_string(),
+        }),
+        "spec-template" => Ok(Command::SpecTemplate),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+scanshare — scan-sharing reproduction driver
+
+USAGE:
+  scanshare throughput [--streams N] [--scale S] [--seed X]
+      N-stream TPC-H throughput run, base vs scan-sharing (Table 1 setup).
+  scanshare staggered [--query q1|q6] [--copies N] [--scale S] [--seed X]
+                      [--stagger-frac F]
+      Staggered single-query run (Figure 15/16 setup).
+  scanshare run --spec FILE [--db FILE] [--compare]
+      Execute a JSON RunSpec; --compare forces base vs scan-sharing;
+      --db loads a previously generated database instead of regenerating.
+  scanshare generate [--scale S] [--seed X] --out FILE
+      Generate the TPC-H-like database once and save it for reuse.
+  scanshare spec-template
+      Print an editable RunSpec JSON to stdout.
+  scanshare help
+      This text.
+";
+
+/// Print one run's headline numbers.
+pub fn print_report(label: &str, r: &RunReport) {
+    println!(
+        "{label:<14} time {:>8.2}s  reads {:>9}  seeks {:>7}  hit {:>5.1}%  queries {}",
+        r.makespan.as_secs_f64(),
+        r.disk.pages_read,
+        r.disk.seeks,
+        r.pool.hit_ratio() * 100.0,
+        r.queries.len()
+    );
+}
+
+/// Print a base-vs-sharing comparison.
+pub fn print_comparison(base: &RunReport, ss: &RunReport) {
+    print_report("base", base);
+    print_report("scan-sharing", ss);
+    let gain = |b: f64, s: f64| if b > 0.0 { (1.0 - s / b) * 100.0 } else { 0.0 };
+    println!(
+        "{:<14} time {:>7.1}%   reads {:>7.1}%   seeks {:>6.1}%",
+        "gain",
+        gain(base.makespan.as_secs_f64(), ss.makespan.as_secs_f64()),
+        gain(base.disk.pages_read as f64, ss.disk.pages_read as f64),
+        gain(base.disk.seeks as f64, ss.disk.seeks as f64),
+    );
+}
+
+fn force_mode(spec: &WorkloadSpec, mode: SharingMode) -> WorkloadSpec {
+    WorkloadSpec {
+        mode,
+        ..spec.clone()
+    }
+}
+
+/// Execute a parsed command. Returns a process exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::SpecTemplate => {
+            let spec = RunSpec::template();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("spec serializes")
+            );
+            0
+        }
+        Command::Throughput {
+            streams,
+            scale,
+            seed,
+        } => {
+            let tpch = TpchConfig {
+                scale,
+                seed,
+                ..TpchConfig::default()
+            };
+            let db = generate(&tpch);
+            let months = tpch.months as i64;
+            let ss_spec = throughput_workload(
+                &db,
+                streams,
+                months,
+                seed,
+                SharingMode::ScanSharing(SharingConfig::new(0)),
+            );
+            run_maybe_compare(&db, &ss_spec, true)
+        }
+        Command::Staggered {
+            query,
+            copies,
+            scale,
+            seed,
+            stagger_frac,
+        } => {
+            let tpch = TpchConfig {
+                scale,
+                seed,
+                ..TpchConfig::default()
+            };
+            let db = generate(&tpch);
+            let q = if query == "q1" {
+                q1()
+            } else {
+                q6(tpch.months as i64, seed)
+            };
+            // Calibrate the stagger from a solo run.
+            let solo = staggered_workload(
+                &db,
+                &q,
+                1,
+                scanshare_storage::SimDuration::ZERO,
+                SharingMode::Base,
+            );
+            let solo_run = run_workload(&db, &solo).expect("solo run");
+            let stagger = scanshare_storage::SimDuration::from_micros(
+                (solo_run.makespan.as_micros() as f64 * stagger_frac).max(1.0) as u64,
+            );
+            let ss_spec = staggered_workload(
+                &db,
+                &q,
+                copies,
+                stagger,
+                SharingMode::ScanSharing(SharingConfig::new(0)),
+            );
+            run_maybe_compare(&db, &ss_spec, true)
+        }
+        Command::Run { spec, db, compare } => {
+            let text = match std::fs::read_to_string(&spec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {spec}: {e}");
+                    return 2;
+                }
+            };
+            let parsed: RunSpec = match serde_json::from_str(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("invalid spec {spec}: {e}");
+                    return 2;
+                }
+            };
+            let database = match db {
+                Some(path) => match Database::load(&path) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("cannot load {path}: {e}");
+                        return 2;
+                    }
+                },
+                None => generate(&parsed.tpch),
+            };
+            run_maybe_compare(&database, &parsed.workload, compare)
+        }
+        Command::Generate { scale, seed, out } => {
+            let tpch = TpchConfig {
+                scale,
+                seed,
+                ..TpchConfig::default()
+            };
+            let db = generate(&tpch);
+            match db.save(&out) {
+                Ok(()) => {
+                    println!(
+                        "saved {} tables / {} pages to {out}",
+                        db.table_names().len(),
+                        db.total_table_pages()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("save failed: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
+    if compare {
+        let base = force_mode(spec, SharingMode::Base);
+        let ss = force_mode(
+            spec,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let rb = match run_workload(db, &base) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("base run failed: {e}");
+                return 1;
+            }
+        };
+        let rs = match run_workload(db, &ss) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scan-sharing run failed: {e}");
+                return 1;
+            }
+        };
+        print_comparison(&rb, &rs);
+        0
+    } else {
+        match run_workload(db, spec) {
+            Ok(r) => {
+                print_report("run", &r);
+                0
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_throughput_with_defaults() {
+        let cmd = parse_args(&args("throughput")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Throughput {
+                streams: 3,
+                scale: 0.5,
+                seed: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_throughput_flags() {
+        let cmd = parse_args(&args("throughput --streams 5 --scale 0.1 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Throughput {
+                streams: 5,
+                scale: 0.1,
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_staggered() {
+        let cmd =
+            parse_args(&args("staggered --query q1 --copies 4 --stagger-frac 0.3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Staggered {
+                query: "q1".into(),
+                copies: 4,
+                scale: 0.5,
+                seed: 42,
+                stagger_frac: 0.3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("staggered --query q99")).is_err());
+        assert!(parse_args(&args("throughput --streams nope")).is_err());
+        assert!(parse_args(&args("run")).is_err());
+        assert!(parse_args(&args("generate")).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn generate_then_run_from_saved_db() {
+        let dir = std::env::temp_dir();
+        let db_path = dir.join(format!("scanshare_cli_{}.db", std::process::id()));
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        db.save(&db_path).unwrap();
+        let loaded = Database::load(&db_path).unwrap();
+        std::fs::remove_file(&db_path).ok();
+        let w = throughput_workload(&loaded, 1, tpch.months as i64, 1, SharingMode::Base);
+        assert_eq!(run_maybe_compare(&loaded, &w, false), 0);
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn spec_template_roundtrips_through_json() {
+        let spec = RunSpec::template();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tpch.scale, spec.tpch.scale);
+        assert_eq!(back.workload.streams.len(), spec.workload.streams.len());
+        assert_eq!(back.workload.pool_pages, spec.workload.pool_pages);
+    }
+
+    #[test]
+    fn run_spec_executes_end_to_end() {
+        // Tiny spec, run through the same path as the binary.
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        let workload = throughput_workload(
+            &db,
+            1,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::Base,
+        );
+        let code = run_maybe_compare(&db, &workload, true);
+        assert_eq!(code, 0);
+    }
+}

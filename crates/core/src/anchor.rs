@@ -1,0 +1,124 @@
+//! Anchors, offsets, and the partial order between scans (§5.3).
+//!
+//! Index-scan locations cannot be compared by inspection: "the RIDs are
+//! not necessarily accessed in any monotonic order and so the distance is
+//! not simply the difference between two SISCANs' scan locations"
+//! (Figure 5 of the paper). Instead, every scan carries an **anchor** — a
+//! fixed reference location — and an **anchor offset** — the number of
+//! pages it has moved since that anchor. Scans that share an anchor form
+//! an *anchor group*; within a group, distances are offset differences
+//! and a total order exists. Across groups nothing is known, which is the
+//! paper's partial order `º` (Figure 6).
+//!
+//! Anchors are created in three situations:
+//!
+//! * a scan starts by itself → fresh anchor, offset 0,
+//! * a scan starts at another scan's location (placement) → it adopts
+//!   that scan's anchor and offset,
+//! * a scan's location update lands exactly on another scan's current
+//!   location → the two groups merge (the scan adopts the other's anchor
+//!   and offset). §7.1 describes this merge; we use the other scan's
+//!   *current* offset because location coincidence means the two scans
+//!   are at the same distance from the adopted anchor.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an anchor (one per anchor group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AnchorId(pub u64);
+
+/// Issues fresh anchors.
+#[derive(Debug, Default)]
+pub(crate) struct AnchorTable {
+    next: u64,
+}
+
+impl AnchorTable {
+    pub(crate) fn fresh(&mut self) -> AnchorId {
+        let id = AnchorId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// Distance in pages between two scans, if they are comparable (same
+/// anchor group). `None` across groups — the partial order gives us no
+/// information there.
+pub fn distance(a: (AnchorId, i64), b: (AnchorId, i64)) -> Option<u64> {
+    if a.0 == b.0 {
+        Some(a.1.abs_diff(b.1))
+    } else {
+        None
+    }
+}
+
+/// The partial order `º`: `Some(Less)` if `a` is behind `b` in scan
+/// direction, `None` if the scans are in different anchor groups.
+pub fn partial_cmp(a: (AnchorId, i64), b: (AnchorId, i64)) -> Option<std::cmp::Ordering> {
+    if a.0 == b.0 {
+        Some(a.1.cmp(&b.1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    /// The worked example of Figure 5: scans A and B share an anchor at
+    /// (key "x", RID 2); A's anchor offset is 2 and B's is 7, so their
+    /// distance is 5 — even though their RIDs suggest 3.
+    #[test]
+    fn figure5_anchor_offset_distance() {
+        let anchor = AnchorId(0);
+        let scan_a = (anchor, 2i64);
+        let scan_b = (anchor, 7i64);
+        assert_eq!(distance(scan_a, scan_b), Some(5));
+        assert_eq!(partial_cmp(scan_a, scan_b), Some(Ordering::Less));
+    }
+
+    /// Figure 6: two anchor groups. Within a group the order is known;
+    /// across groups it is not (that is what makes it a *partial* order).
+    #[test]
+    fn figure6_partial_order() {
+        let g1 = AnchorId(1);
+        let g2 = AnchorId(2);
+        let a = (g1, 10i64);
+        let b = (g1, 50i64);
+        let c = (g1, 60i64);
+        let d = (g1, 75i64);
+        let e = (g2, 20i64);
+        let f = (g2, 40i64);
+        // A º B, B º C, C º D within group 1; E º F within group 2.
+        assert_eq!(partial_cmp(a, b), Some(Ordering::Less));
+        assert_eq!(partial_cmp(b, c), Some(Ordering::Less));
+        assert_eq!(partial_cmp(c, d), Some(Ordering::Less));
+        assert_eq!(partial_cmp(e, f), Some(Ordering::Less));
+        // Distances from Figure 6 / §7.2: d(A,B)=40, d(B,C)=10, d(C,D)=15,
+        // d(E,F)=20.
+        assert_eq!(distance(a, b), Some(40));
+        assert_eq!(distance(b, c), Some(10));
+        assert_eq!(distance(c, d), Some(15));
+        assert_eq!(distance(e, f), Some(20));
+        // Nothing is known across groups.
+        assert_eq!(partial_cmp(a, e), None);
+        assert_eq!(distance(d, f), None);
+    }
+
+    #[test]
+    fn anchor_table_issues_unique_ids() {
+        let mut t = AnchorTable::default();
+        let a = t.fresh();
+        let b = t.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let g = AnchorId(9);
+        assert_eq!(distance((g, -5), (g, 10)), Some(15));
+        assert_eq!(distance((g, 10), (g, -5)), Some(15));
+    }
+}

@@ -1,0 +1,124 @@
+//! Configuration of the sharing manager.
+
+use scanshare_storage::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which placement algorithm start_scan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// §6.3's anchor-group algorithm: candidates are ongoing scans'
+    /// current locations; O(|S|²). The paper's production choice.
+    #[default]
+    Practical,
+    /// §6.2's "interesting locations" search; O(|S|³). Only applicable
+    /// where scan locations form a known linear axis — i.e. table scans;
+    /// index scans silently fall back to the practical algorithm.
+    Optimal,
+    /// QPipe-style attach (Harizopoulos et al., the paper's related work
+    /// [19]): a new scan always attaches to the ongoing scan with the
+    /// most remaining work, with no sharing-potential estimation. Works
+    /// when speeds are similar; drifts apart when they are not — the
+    /// weakness the paper's placement + throttling were built to fix.
+    /// Pair with `enable_throttling: false` to model the original.
+    AlwaysAttach,
+}
+
+/// Tunables of the scan-sharing manager. Defaults mirror the papers'
+/// prototype: 16-page extents, a drift threshold of two prefetch extents,
+/// and an 80 % fairness cap on accumulated slowdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharingConfig {
+    /// Size of the buffer pool the manager optimizes for, in pages. Used
+    /// as the extent budget when forming groups (Figure 14) and as the
+    /// churn window in the sharing-potential estimator.
+    pub pool_pages: u64,
+    /// Pages per extent; location updates arrive at this granularity.
+    pub extent_pages: u64,
+    /// Throttle a group leader once its distance to the trailer exceeds
+    /// this many extents ("typically less than two prefetch extents").
+    pub throttle_threshold_extents: u64,
+    /// Stop throttling a scan once its accumulated slowdown exceeds this
+    /// fraction of its estimated total scan time (the paper's 80 % rule).
+    pub fairness_cap: f64,
+    /// Scale the fairness cap by each query's [`crate::scan::QueryPriority`]
+    /// — the dynamic-threshold extension the paper lists as future work.
+    pub dynamic_fairness: bool,
+    /// Upper bound on a single injected wait, so one stale speed estimate
+    /// cannot stall a scan for an unbounded time.
+    pub max_wait: SimDuration,
+    /// Master switch: choose start locations via placement. Off = every
+    /// scan starts at its start key (used for ablations).
+    pub enable_placement: bool,
+    /// Placement algorithm (see [`PlacementStrategy`]).
+    pub placement_strategy: PlacementStrategy,
+    /// Master switch: throttle drifting leaders.
+    pub enable_throttling: bool,
+    /// Master switch: leader/trailer page re-prioritization.
+    pub enable_priorities: bool,
+}
+
+impl SharingConfig {
+    /// A full-featured configuration for a pool of `pool_pages` pages.
+    pub fn new(pool_pages: u64) -> Self {
+        SharingConfig {
+            pool_pages,
+            extent_pages: 16,
+            throttle_threshold_extents: 2,
+            fairness_cap: 0.8,
+            dynamic_fairness: false,
+            max_wait: SimDuration::from_millis(500),
+            enable_placement: true,
+            placement_strategy: PlacementStrategy::default(),
+            enable_throttling: true,
+            enable_priorities: true,
+        }
+    }
+
+    /// Distance (in pages) beyond which a leader is throttled.
+    pub fn throttle_threshold_pages(&self) -> u64 {
+        self.throttle_threshold_extents * self.extent_pages
+    }
+
+    /// The QPipe-style attach baseline of the paper's related work [19]:
+    /// unconditional attachment, no speed estimation, no throttling, no
+    /// page re-prioritization.
+    pub fn attach_baseline(pool_pages: u64) -> Self {
+        SharingConfig {
+            placement_strategy: PlacementStrategy::AlwaysAttach,
+            enable_throttling: false,
+            enable_priorities: false,
+            ..Self::new(pool_pages)
+        }
+    }
+
+    /// Disable everything (the "vanilla DB2" baseline).
+    pub fn disabled(pool_pages: u64) -> Self {
+        SharingConfig {
+            enable_placement: false,
+            enable_throttling: false,
+            enable_priorities: false,
+            ..Self::new(pool_pages)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SharingConfig::new(5000);
+        assert_eq!(c.extent_pages, 16);
+        assert_eq!(c.throttle_threshold_pages(), 32);
+        assert!((c.fairness_cap - 0.8).abs() < 1e-12);
+        assert!(c.enable_placement && c.enable_throttling && c.enable_priorities);
+    }
+
+    #[test]
+    fn disabled_turns_everything_off() {
+        let c = SharingConfig::disabled(100);
+        assert!(!c.enable_placement && !c.enable_throttling && !c.enable_priorities);
+        assert_eq!(c.pool_pages, 100);
+    }
+}

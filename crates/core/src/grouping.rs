@@ -1,0 +1,313 @@
+//! Scan grouping and leader/trailer classification (§7.2, Figure 14).
+//!
+//! Scans that are close together in the anchor partial order are formed
+//! into **scan groups**, greedily merging the closest pairs first until
+//! the combined extent of all groups would no longer fit the buffer pool.
+//! Within each group, the scan furthest ahead is the **leader** and the
+//! scan furthest behind the **trailer**: leaders get throttled when they
+//! drift away, trailers mark their pages cheap to evict.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::anchor::AnchorId;
+use crate::scan::ScanId;
+
+/// A scan's role within its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Front of a multi-scan group (largest offset).
+    Leader,
+    /// Back of a multi-scan group (smallest offset).
+    Trailer,
+    /// Between leader and trailer.
+    Middle,
+    /// Alone in its group — "leader and trailer" at once, like scan A in
+    /// the paper's Figure 14 walk-through.
+    Singleton,
+}
+
+/// One formed group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupInfo {
+    /// The anchor all members share.
+    pub anchor: AnchorId,
+    /// Members in increasing offset order (trailer first, leader last).
+    pub members: Vec<ScanId>,
+    /// Leader-to-trailer distance in pages.
+    pub extent: u64,
+}
+
+impl GroupInfo {
+    /// The group's trailer (smallest offset).
+    pub fn trailer(&self) -> ScanId {
+        *self.members.first().expect("groups are nonempty")
+    }
+
+    /// The group's leader (largest offset).
+    pub fn leader(&self) -> ScanId {
+        *self.members.last().expect("groups are nonempty")
+    }
+}
+
+/// The result of a grouping pass.
+#[derive(Debug, Clone, Default)]
+pub struct Groups {
+    /// All groups (multi-member and singleton).
+    pub groups: Vec<GroupInfo>,
+    roles: HashMap<ScanId, (usize, Role)>,
+}
+
+impl Groups {
+    /// The role of `id`, if it was part of the grouping input.
+    pub fn role(&self, id: ScanId) -> Option<Role> {
+        self.roles.get(&id).map(|&(_, r)| r)
+    }
+
+    /// The group containing `id`.
+    pub fn group_of(&self, id: ScanId) -> Option<&GroupInfo> {
+        self.roles.get(&id).map(|&(g, _)| &self.groups[g])
+    }
+
+    /// Sum of extents over all groups (singletons contribute 0).
+    pub fn total_extent(&self) -> u64 {
+        self.groups.iter().map(|g| g.extent).sum()
+    }
+}
+
+/// `findLeadersTrailers` (Figure 14): form groups from scans described by
+/// `(id, anchor, offset)` triples, with the buffer pool size (in pages) as
+/// the extent budget.
+///
+/// ```
+/// use scanshare::grouping::{find_leaders_trailers, Role};
+/// use scanshare::anchor::AnchorId;
+/// use scanshare::ScanId;
+///
+/// // Two scans 10 pages apart in one anchor group: they form a group
+/// // under a 50-page budget, the one ahead is the leader.
+/// let scans = [
+///     (ScanId(0), AnchorId(0), 40),
+///     (ScanId(1), AnchorId(0), 50),
+/// ];
+/// let groups = find_leaders_trailers(&scans, 50);
+/// assert_eq!(groups.role(ScanId(1)), Some(Role::Leader));
+/// assert_eq!(groups.role(ScanId(0)), Some(Role::Trailer));
+/// ```
+///
+/// Pairs of offset-adjacent scans are merged in increasing-distance order
+/// as long as the total extent of all formed groups stays below
+/// `pool_pages`; the first merge that would reach the budget stops the
+/// process (this reproduces the paper's worked example exactly — see the
+/// `figure14_worked_example` test).
+pub fn find_leaders_trailers(scans: &[(ScanId, AnchorId, i64)], pool_pages: u64) -> Groups {
+    // Chains: scans of each anchor group in offset order.
+    let mut chains: HashMap<AnchorId, Vec<(i64, ScanId)>> = HashMap::new();
+    for &(id, anchor, offset) in scans {
+        chains.entry(anchor).or_default().push((offset, id));
+    }
+    let mut chain_list: Vec<(AnchorId, Vec<(i64, ScanId)>)> = chains.into_iter().collect();
+    // Deterministic iteration order regardless of hash state.
+    chain_list.sort_by_key(|(a, _)| *a);
+    for (_, chain) in &mut chain_list {
+        chain.sort();
+    }
+
+    // Candidate pairs: consecutive scans within a chain.
+    // (chain_idx, gap_idx) identifies the gap between chain[gap] and
+    // chain[gap+1]; distance is their offset difference.
+    let mut pairs: Vec<(u64, usize, usize)> = Vec::new();
+    for (ci, (_, chain)) in chain_list.iter().enumerate() {
+        for gi in 0..chain.len().saturating_sub(1) {
+            let d = chain[gi + 1].0.abs_diff(chain[gi].0);
+            pairs.push((d, ci, gi));
+        }
+    }
+    pairs.sort();
+
+    // Greedy merge with the budget check. `merged[ci][gi]` marks a joined
+    // gap; total extent is recomputed per step (scan counts are small).
+    let mut merged: Vec<Vec<bool>> = chain_list
+        .iter()
+        .map(|(_, c)| vec![false; c.len().saturating_sub(1)])
+        .collect();
+    let total_extent = |merged: &Vec<Vec<bool>>| -> u64 {
+        let mut total = 0u64;
+        for (ci, (_, chain)) in chain_list.iter().enumerate() {
+            let mut run_start = 0usize;
+            for gi in 0..chain.len() {
+                let joined_next = gi < chain.len() - 1 && merged[ci][gi];
+                if !joined_next {
+                    if gi > run_start {
+                        total += chain[gi].0.abs_diff(chain[run_start].0);
+                    }
+                    run_start = gi + 1;
+                }
+            }
+        }
+        total
+    };
+    for &(_, ci, gi) in &pairs {
+        merged[ci][gi] = true;
+        if total_extent(&merged) >= pool_pages {
+            merged[ci][gi] = false;
+            break;
+        }
+    }
+
+    // Materialize groups from the merged runs.
+    let mut groups = Groups::default();
+    for (ci, (anchor, chain)) in chain_list.iter().enumerate() {
+        let mut run_start = 0usize;
+        for gi in 0..chain.len() {
+            let joined_next = gi < chain.len() - 1 && merged[ci][gi];
+            if !joined_next {
+                let members: Vec<ScanId> =
+                    chain[run_start..=gi].iter().map(|&(_, id)| id).collect();
+                let extent = chain[gi].0.abs_diff(chain[run_start].0);
+                let gidx = groups.groups.len();
+                let n = members.len();
+                for (mi, &m) in members.iter().enumerate() {
+                    let role = if n == 1 {
+                        Role::Singleton
+                    } else if mi == 0 {
+                        Role::Trailer
+                    } else if mi == n - 1 {
+                        Role::Leader
+                    } else {
+                        Role::Middle
+                    };
+                    groups.roles.insert(m, (gidx, role));
+                }
+                groups.groups.push(GroupInfo {
+                    anchor: *anchor,
+                    members,
+                    extent,
+                });
+                run_start = gi + 1;
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> ScanId {
+        ScanId(n)
+    }
+
+    /// The paper's worked example (§7.2 / Figures 6 and 14): scans
+    /// A,B,C,D share one anchor with offsets 10,50,60,75; E,F share
+    /// another with offsets 20,40. With a 50-page pool, merging by
+    /// increasing pair distance forms (B,C), then (B,C,D), then (E,F),
+    /// and must stop before (A,B) — the final groups are (A) with extent
+    /// 0, (B,C,D) with extent 25, (E,F) with extent 20, total 45 < 50.
+    /// B is trailer and D leader of the middle group; E trailer, F
+    /// leader; A is both.
+    #[test]
+    fn figure14_worked_example() {
+        let g1 = AnchorId(1);
+        let g2 = AnchorId(2);
+        let (a, b, c, d, e, f) = (sid(0), sid(1), sid(2), sid(3), sid(4), sid(5));
+        let scans = vec![
+            (a, g1, 10),
+            (b, g1, 50),
+            (c, g1, 60),
+            (d, g1, 75),
+            (e, g2, 20),
+            (f, g2, 40),
+        ];
+        let groups = find_leaders_trailers(&scans, 50);
+
+        assert_eq!(groups.total_extent(), 45);
+        assert_eq!(groups.role(a), Some(Role::Singleton));
+        assert_eq!(groups.role(b), Some(Role::Trailer));
+        assert_eq!(groups.role(c), Some(Role::Middle));
+        assert_eq!(groups.role(d), Some(Role::Leader));
+        assert_eq!(groups.role(e), Some(Role::Trailer));
+        assert_eq!(groups.role(f), Some(Role::Leader));
+
+        let bcd = groups.group_of(b).unwrap();
+        assert_eq!(bcd.members, vec![b, c, d]);
+        assert_eq!(bcd.extent, 25);
+        assert_eq!(bcd.trailer(), b);
+        assert_eq!(bcd.leader(), d);
+        let ef = groups.group_of(e).unwrap();
+        assert_eq!(ef.extent, 20);
+        let ag = groups.group_of(a).unwrap();
+        assert_eq!(ag.extent, 0);
+        assert_eq!(ag.members, vec![a]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let groups = find_leaders_trailers(&[], 100);
+        assert!(groups.groups.is_empty());
+        assert_eq!(groups.role(sid(0)), None);
+    }
+
+    #[test]
+    fn single_scan_is_singleton() {
+        let groups = find_leaders_trailers(&[(sid(7), AnchorId(0), 42)], 100);
+        assert_eq!(groups.role(sid(7)), Some(Role::Singleton));
+        assert_eq!(groups.groups.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_forms_no_multi_groups() {
+        let g = AnchorId(0);
+        let scans = vec![(sid(0), g, 0), (sid(1), g, 1)];
+        let groups = find_leaders_trailers(&scans, 0);
+        assert_eq!(groups.role(sid(0)), Some(Role::Singleton));
+        assert_eq!(groups.role(sid(1)), Some(Role::Singleton));
+    }
+
+    #[test]
+    fn everything_merges_under_a_big_budget() {
+        let g = AnchorId(0);
+        let scans: Vec<_> = (0..5).map(|i| (sid(i), g, (i * 10) as i64)).collect();
+        let groups = find_leaders_trailers(&scans, 1_000_000);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].extent, 40);
+        assert_eq!(groups.role(sid(0)), Some(Role::Trailer));
+        assert_eq!(groups.role(sid(4)), Some(Role::Leader));
+        for i in 1..4 {
+            assert_eq!(groups.role(sid(i)), Some(Role::Middle));
+        }
+    }
+
+    #[test]
+    fn closest_pairs_win_the_budget() {
+        let g = AnchorId(0);
+        // Offsets 0, 100, 102: only (100,102) fits a 10-page budget.
+        let scans = vec![(sid(0), g, 0), (sid(1), g, 100), (sid(2), g, 102)];
+        let groups = find_leaders_trailers(&scans, 10);
+        assert_eq!(groups.role(sid(0)), Some(Role::Singleton));
+        assert_eq!(groups.role(sid(1)), Some(Role::Trailer));
+        assert_eq!(groups.role(sid(2)), Some(Role::Leader));
+    }
+
+    #[test]
+    fn scans_at_equal_offsets_group_with_zero_extent() {
+        let g = AnchorId(0);
+        let scans = vec![(sid(0), g, 5), (sid(1), g, 5), (sid(2), g, 5)];
+        let groups = find_leaders_trailers(&scans, 10);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].extent, 0);
+    }
+
+    #[test]
+    fn merging_is_transitive_across_a_chain() {
+        let g = AnchorId(0);
+        // 0-5-10-15: all gaps are 5; budget 40 admits the whole chain
+        // (extent 15).
+        let scans: Vec<_> = (0..4).map(|i| (sid(i), g, (i * 5) as i64)).collect();
+        let groups = find_leaders_trailers(&scans, 40);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].members.len(), 4);
+    }
+}

@@ -1,0 +1,906 @@
+//! The scan-sharing manager facade — the paper's ISM/"table scan sharing
+//! manager", unified over table scans and index scans.
+//!
+//! One manager exists per buffer pool. Scans interact with it through
+//! exactly the calls the papers add to the scan operators (their bold
+//! lines in Figure 3):
+//!
+//! * [`ScanSharingManager::start_scan`] → placement decision,
+//! * [`ScanSharingManager::update_location`] → throttle wait + release
+//!   priority,
+//! * [`ScanSharingManager::wrap_scan`] → the scan entered its second
+//!   phase (from the original start key to the assigned start location),
+//! * [`ScanSharingManager::end_scan`] → deregistration.
+//!
+//! The manager is thread-safe (a single mutex around its state); calls
+//! arrive once per extent per scan, so contention is negligible — the
+//! papers report well under 1 % overhead and the micro-benchmarks in
+//! `scanshare-bench` confirm the same for this implementation.
+
+use parking_lot::Mutex;
+use scanshare_storage::{PagePriority, SimTime};
+use std::collections::HashMap;
+
+use crate::anchor::AnchorTable;
+use crate::config::SharingConfig;
+use crate::grouping::{find_leaders_trailers, GroupInfo, Groups, Role};
+use crate::config::PlacementStrategy;
+use crate::placement::{best_start_optimal, best_start_practical, Trace};
+use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanState};
+use crate::stats::SharingStats;
+use crate::throttle;
+
+/// Position token meaning "not yet reported by the engine". Locations
+/// with this token never participate in coincidence merges.
+pub const UNKNOWN_POS: u64 = u64::MAX;
+
+/// Where a new scan should start, as decided by placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartDecision {
+    /// Start at the scan's own start key.
+    FromStart,
+    /// Start at `location`, which is the current location of `scan`
+    /// (or of the most recently finished scan when `scan` is `None`).
+    JoinAt {
+        /// The location to start scanning from.
+        location: Location,
+        /// The ongoing scan being joined, if any.
+        scan: Option<ScanId>,
+        /// How many pages *before* `location` the scan should actually
+        /// begin. Zero when joining an ongoing scan; when joining a
+        /// finished scan this is the number of its trailing pages
+        /// expected to still be in the pool ("technically, we should
+        /// start the new scan several pages before the last scan's
+        /// location" — §6.3). The caller resolves the backup, since only
+        /// it can walk the index backwards.
+        back_up_pages: u64,
+    },
+}
+
+impl StartDecision {
+    /// Whether the scan starts at its own start key.
+    pub fn is_from_start(&self) -> bool {
+        matches!(self, StartDecision::FromStart)
+    }
+
+    /// The join location, if the scan was placed at one.
+    pub fn join_location(&self) -> Option<Location> {
+        match self {
+            StartDecision::JoinAt { location, .. } => Some(*location),
+            StartDecision::FromStart => None,
+        }
+    }
+}
+
+/// What `update_location` tells the calling scan to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Wait this long before continuing (zero when not throttled). The
+    /// papers implement this as the update call itself taking longer.
+    pub wait: scanshare_storage::SimDuration,
+    /// Priority to attach when releasing the pages just processed.
+    pub priority: PagePriority,
+    /// The scan's current role, for diagnostics.
+    pub role: Role,
+}
+
+struct FinishedScan {
+    location: Location,
+    kind: ScanKind,
+    /// Value of the global churn counter when the scan ended; if more
+    /// than a pool's worth of pages has been read since, the leftovers
+    /// are gone and joining this location buys nothing.
+    churn_at_end: u64,
+}
+
+struct Inner {
+    scans: HashMap<ScanId, ScanState>,
+    anchors: AnchorTable,
+    /// Canonical anchor per table object: table-scan locations are
+    /// directly comparable page numbers, so every table scan on an object
+    /// lives in one anchor group with offset = page number.
+    table_anchors: HashMap<ObjectId, crate::anchor::AnchorId>,
+    last_finished: HashMap<ObjectId, FinishedScan>,
+    /// Total pages advanced by all scans — a proxy for buffer pool churn.
+    total_pages_advanced: u64,
+    next_scan: u64,
+    stats: SharingStats,
+}
+
+impl Inner {
+    fn compute_groups(&self, pool_pages: u64) -> Groups {
+        let mut triples: Vec<_> = self
+            .scans
+            .values()
+            .map(|s| (s.id, s.anchor, s.anchor_offset))
+            .collect();
+        triples.sort_by_key(|t| t.0);
+        find_leaders_trailers(&triples, pool_pages)
+    }
+}
+
+/// The scan-sharing manager. One per buffer pool.
+pub struct ScanSharingManager {
+    cfg: SharingConfig,
+    inner: Mutex<Inner>,
+}
+
+impl ScanSharingManager {
+    /// Create a manager for a pool of `cfg.pool_pages` pages.
+    pub fn new(cfg: SharingConfig) -> Self {
+        ScanSharingManager {
+            cfg,
+            inner: Mutex::new(Inner {
+                scans: HashMap::new(),
+                anchors: AnchorTable::default(),
+                table_anchors: HashMap::new(),
+                last_finished: HashMap::new(),
+                total_pages_advanced: 0,
+                next_scan: 0,
+                stats: SharingStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SharingConfig {
+        &self.cfg
+    }
+
+    /// Register a new scan and decide where it starts (`startSISCAN`).
+    pub fn start_scan(&self, desc: ScanDesc, now: SimTime) -> (ScanId, StartDecision) {
+        let mut inner = self.inner.lock();
+        let id = ScanId(inner.next_scan);
+        inner.next_scan += 1;
+        inner.stats.scans_started += 1;
+
+        let decision = if self.cfg.enable_placement {
+            self.place(&inner, &desc)
+        } else {
+            StartDecision::FromStart
+        };
+
+        // Resolve the anchor/offset the new scan registers with.
+        let (anchor, offset, location) = match (&decision, desc.kind) {
+            (StartDecision::JoinAt { location, scan: Some(other), .. }, _) => {
+                let o = &inner.scans[other];
+                (o.anchor, o.anchor_offset, *location)
+            }
+            (StartDecision::JoinAt { location, scan: None, .. }, ScanKind::Table) => {
+                let a = Self::table_anchor(&mut inner, desc.object);
+                (a, location.pos as i64, *location)
+            }
+            (StartDecision::JoinAt { location, scan: None, .. }, ScanKind::Index) => {
+                // Joining a finished scan: its group is gone, so the new
+                // scan founds a fresh anchor at that location.
+                (inner.anchors.fresh(), 0, *location)
+            }
+            (StartDecision::FromStart, ScanKind::Table) => {
+                let a = Self::table_anchor(&mut inner, desc.object);
+                (
+                    a,
+                    desc.start_key,
+                    Location::new(desc.start_key, desc.start_key as u64),
+                )
+            }
+            (StartDecision::FromStart, ScanKind::Index) => (
+                inner.anchors.fresh(),
+                0,
+                Location::new(desc.start_key, UNKNOWN_POS),
+            ),
+        };
+        match &decision {
+            StartDecision::JoinAt { scan: Some(_), .. } => inner.stats.scans_joined += 1,
+            StartDecision::JoinAt { scan: None, .. } => {
+                // The optimal search places at arbitrary locations while
+                // ongoing scans exist; the last-finished special case
+                // only fires when none do. Disjoint, so attribution by
+                // presence of ongoing same-kind scans is exact.
+                let any_ongoing = inner
+                    .scans
+                    .values()
+                    .any(|s| s.desc.object == desc.object && s.desc.kind == desc.kind && s.id != id);
+                if any_ongoing {
+                    inner.stats.scans_placed_optimal += 1;
+                } else {
+                    inner.stats.scans_joined_finished += 1;
+                }
+            }
+            StartDecision::FromStart => inner.stats.scans_from_start += 1,
+        }
+        let state = ScanState::new(id, desc, location, anchor, offset, now);
+        inner.scans.insert(id, state);
+        (id, decision)
+    }
+
+    fn table_anchor(inner: &mut Inner, object: ObjectId) -> crate::anchor::AnchorId {
+        if let Some(&a) = inner.table_anchors.get(&object) {
+            return a;
+        }
+        let a = inner.anchors.fresh();
+        inner.table_anchors.insert(object, a);
+        a
+    }
+
+    /// The placement logic of §6.3 (Figure 13), generalized over scan
+    /// kinds: collect the anchor groups on the same object that overlap
+    /// the new scan's key range, score each member's current location
+    /// with `calculateReads`, and pick the best-saving candidate. With no
+    /// ongoing scans, fall back to the most recently finished scan's
+    /// location.
+    fn place(&self, inner: &Inner, desc: &ScanDesc) -> StartDecision {
+        // Candidate members: ongoing scans on the same object, same kind,
+        // whose *current key* lies inside the new scan's range (a scan
+        // whose location is outside the range cannot be joined — §6).
+        let mut members: Vec<&ScanState> = inner
+            .scans
+            .values()
+            .filter(|s| {
+                s.desc.object == desc.object
+                    && s.desc.kind == desc.kind
+                    && desc.contains_key(s.location.key)
+            })
+            .collect();
+        // HashMap iteration order is arbitrary; sort so candidate
+        // tie-breaks (and therefore whole runs) are deterministic.
+        members.sort_by_key(|s| s.id);
+
+        if members.is_empty() {
+            // Figure 13 line 2: join the last finished scan's leftovers.
+            let any_ongoing = inner
+                .scans
+                .values()
+                .any(|s| s.desc.object == desc.object && s.desc.kind == desc.kind);
+            if !any_ongoing {
+                if let Some(fin) = inner.last_finished.get(&desc.object) {
+                    let still_cached = inner
+                        .total_pages_advanced
+                        .saturating_sub(fin.churn_at_end)
+                        < self.cfg.pool_pages;
+                    if still_cached
+                        && fin.kind == desc.kind
+                        && desc.contains_key(fin.location.key)
+                        && fin.location.pos != UNKNOWN_POS
+                    {
+                        return StartDecision::JoinAt {
+                            location: fin.location,
+                            scan: None,
+                            back_up_pages: self.cfg.pool_pages,
+                        };
+                    }
+                }
+            }
+            return StartDecision::FromStart;
+        }
+
+        // Attach strategy (QPipe baseline): join the ongoing scan with
+        // the most remaining work, unconditionally.
+        if self.cfg.placement_strategy == PlacementStrategy::AlwaysAttach {
+            let target = members
+                .iter()
+                .filter(|m| m.location.pos != UNKNOWN_POS)
+                .max_by_key(|m| (m.remaining_pages, std::cmp::Reverse(m.id)));
+            return match target {
+                Some(m) => StartDecision::JoinAt {
+                    location: m.location,
+                    scan: Some(m.id),
+                    back_up_pages: 0,
+                },
+                None => StartDecision::FromStart,
+            };
+        }
+
+        // Optimal strategy: table-scan locations form a known linear
+        // axis (page numbers), so the O(|S|^3) interesting-locations
+        // search of §6.2 can place the new scan anywhere in its range,
+        // not just at a member's position.
+        if self.cfg.placement_strategy == PlacementStrategy::Optimal
+            && desc.kind == ScanKind::Table
+        {
+            let traces: Vec<Trace> = members
+                .iter()
+                .map(|m| {
+                    Trace::new(
+                        m.location.pos as f64,
+                        m.speed,
+                        (m.location.pos + m.remaining_pages) as f64,
+                    )
+                })
+                .collect();
+            if let Some(c) = best_start_optimal(
+                &traces,
+                desc.est_speed(),
+                desc.est_pages as f64,
+                self.cfg.pool_pages as f64,
+                (desc.start_key as f64, desc.end_key as f64),
+            ) {
+                let saving = c.estimate.baseline - c.estimate.reads;
+                if saving >= self.cfg.extent_pages as f64 {
+                    let page = c.start.round().max(0.0) as u64;
+                    return StartDecision::JoinAt {
+                        location: Location::new(page as i64, page),
+                        scan: None,
+                        back_up_pages: 0,
+                    };
+                }
+            }
+            return StartDecision::FromStart;
+        }
+
+        // Evaluate per anchor group (offsets are only comparable within a
+        // group), then take the best savings across groups.
+        let mut by_group: HashMap<crate::anchor::AnchorId, Vec<&ScanState>> = HashMap::new();
+        for m in &members {
+            by_group.entry(m.anchor).or_default().push(m);
+        }
+        let mut groups: Vec<_> = by_group.into_iter().collect();
+        groups.sort_by_key(|(a, _)| *a);
+
+        let cand_speed = desc.est_speed();
+        let mut best: Option<(f64, ScanId, Location)> = None;
+        for (_, group_members) in groups {
+            let traces: Vec<Trace> = group_members
+                .iter()
+                .map(|m| {
+                    Trace::new(
+                        m.anchor_offset as f64,
+                        m.speed,
+                        (m.anchor_offset + m.remaining_pages as i64) as f64,
+                    )
+                })
+                .collect();
+            if let Some(c) = best_start_practical(
+                &traces,
+                cand_speed,
+                desc.est_pages as f64,
+                self.cfg.pool_pages as f64,
+            ) {
+                // Require the join to save at least one extent's worth of
+                // reads in absolute terms: a scan about to finish offers a
+                // positive but useless per-page score over a tiny span
+                // (Figure 7's "sharing duration is limited" case).
+                let absolute_saving = c.estimate.baseline - c.estimate.reads;
+                if absolute_saving < self.cfg.extent_pages as f64 {
+                    continue;
+                }
+                let member = group_members[c.member];
+                let score = c.estimate.savings_per_page();
+                if best.map(|(s, _, _)| score > s).unwrap_or(true) {
+                    best = Some((score, member.id, member.location));
+                }
+            }
+        }
+        match best {
+            Some((_, scan, location)) if location.pos != UNKNOWN_POS => StartDecision::JoinAt {
+                location,
+                scan: Some(scan),
+                back_up_pages: 0,
+            },
+            _ => StartDecision::FromStart,
+        }
+    }
+
+    /// `updateSISCANLocation`: record the scan's new location, maybe
+    /// merge anchor groups, recompute leaders/trailers, and return the
+    /// throttle wait plus the release priority for the processed pages.
+    pub fn update_location(
+        &self,
+        id: ScanId,
+        now: SimTime,
+        location: Location,
+        pages_advanced: u64,
+    ) -> UpdateOutcome {
+        let mut inner = self.inner.lock();
+        let Some(mut state) = inner.scans.remove(&id) else {
+            // Unknown scan (already ended): act as a no-op.
+            return UpdateOutcome {
+                wait: scanshare_storage::SimDuration::ZERO,
+                priority: PagePriority::Normal,
+                role: Role::Singleton,
+            };
+        };
+        state.advance(now, location, pages_advanced);
+        inner.total_pages_advanced += pages_advanced;
+
+        // §7.1 anchor merge: if this scan's new location coincides with
+        // another ongoing scan's location, they are provably at the same
+        // point — adopt that scan's anchor and offset so the partial
+        // order now relates the two groups.
+        if location.pos != UNKNOWN_POS {
+            let hit = inner
+                .scans
+                .values()
+                .filter(|o| {
+                    o.anchor != state.anchor
+                        && o.desc.object == state.desc.object
+                        && o.desc.kind == state.desc.kind
+                        && o.location == location
+                })
+                .min_by_key(|o| o.id)
+                .map(|o| (o.anchor, o.anchor_offset));
+            if let Some((anchor, offset)) = hit {
+                state.anchor = anchor;
+                state.anchor_offset = offset;
+                inner.stats.anchor_merges += 1;
+            }
+        }
+        inner.scans.insert(id, state);
+
+        let groups = inner.compute_groups(self.cfg.pool_pages);
+        let role = groups.role(id).unwrap_or(Role::Singleton);
+
+        let mut wait = scanshare_storage::SimDuration::ZERO;
+        if self.cfg.enable_throttling && role == Role::Leader {
+            let group = groups.group_of(id).expect("leader has a group");
+            let trailer_speed = inner.scans[&group.trailer()].speed;
+            let distance = group.extent;
+            let state = inner.scans.get_mut(&id).expect("scan present");
+            wait = throttle::throttle(&self.cfg, state, distance, trailer_speed);
+            if wait > scanshare_storage::SimDuration::ZERO {
+                inner.stats.waits_injected += 1;
+                inner.stats.total_wait += wait;
+            }
+        }
+
+        let priority = if self.cfg.enable_priorities {
+            match role {
+                Role::Leader => PagePriority::High,
+                Role::Trailer => PagePriority::Low,
+                Role::Middle | Role::Singleton => PagePriority::Normal,
+            }
+        } else {
+            PagePriority::Normal
+        };
+        UpdateOutcome {
+            wait,
+            priority,
+            role,
+        }
+    }
+
+    /// The scan wrapped around to its start key (phase two of a SISCAN,
+    /// or a table scan reaching the end of the table). Index scans found
+    /// a fresh anchor group — their relation to the old group is unknown
+    /// after the jump; table scans stay in the object's group with the
+    /// new page offset.
+    pub fn wrap_scan(&self, id: ScanId, now: SimTime, location: Location) {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.scans.get(&id) else {
+            return;
+        };
+        let (kind, object) = (state.desc.kind, state.desc.object);
+        let (anchor, offset) = match kind {
+            ScanKind::Table => (Self::table_anchor(&mut inner, object), location.pos as i64),
+            ScanKind::Index => (inner.anchors.fresh(), 0),
+        };
+        let state = inner.scans.get_mut(&id).expect("checked above");
+        state.anchor = anchor;
+        state.anchor_offset = offset;
+        state.location = location;
+        state.last_update = now;
+    }
+
+    /// `endSISCAN`: deregister and remember the final location so a
+    /// later lone scan can pick up the leftovers.
+    pub fn end_scan(&self, id: ScanId, _now: SimTime) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.scans.remove(&id) {
+            inner.stats.scans_finished += 1;
+            let churn_at_end = inner.total_pages_advanced;
+            inner.last_finished.insert(
+                state.desc.object,
+                FinishedScan {
+                    location: state.location,
+                    kind: state.desc.kind,
+                    churn_at_end,
+                },
+            );
+        }
+    }
+
+    /// `ISM.pr()`: the release priority for a scan's pages right now.
+    pub fn page_priority(&self, id: ScanId) -> PagePriority {
+        if !self.cfg.enable_priorities {
+            return PagePriority::Normal;
+        }
+        let inner = self.inner.lock();
+        let groups = inner.compute_groups(self.cfg.pool_pages);
+        match groups.role(id) {
+            Some(Role::Leader) => PagePriority::High,
+            Some(Role::Trailer) => PagePriority::Low,
+            _ => PagePriority::Normal,
+        }
+    }
+
+    /// Snapshot of the current groups (diagnostics, tests, examples).
+    pub fn groups(&self) -> Vec<GroupInfo> {
+        let inner = self.inner.lock();
+        inner.compute_groups(self.cfg.pool_pages).groups
+    }
+
+    /// Number of ongoing scans.
+    pub fn num_active(&self) -> usize {
+        self.inner.lock().scans.len()
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> SharingStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// The current speed estimate of a scan, in pages/second (tests).
+    pub fn scan_speed(&self, id: ScanId) -> Option<f64> {
+        self.inner.lock().scans.get(&id).map(|s| s.speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_storage::SimDuration;
+
+    fn table_desc(object: u64, pages: u64, secs: u64) -> ScanDesc {
+        ScanDesc {
+            kind: ScanKind::Table,
+            object: ObjectId(object),
+            start_key: 0,
+            end_key: pages as i64 - 1,
+            est_pages: pages,
+            est_time: SimDuration::from_secs(secs),
+            priority: Default::default(),
+        }
+    }
+
+    fn index_desc(object: u64, lo: i64, hi: i64, pages: u64, secs: u64) -> ScanDesc {
+        ScanDesc {
+            kind: ScanKind::Index,
+            object: ObjectId(object),
+            start_key: lo,
+            end_key: hi,
+            est_pages: pages,
+            est_time: SimDuration::from_secs(secs),
+            priority: Default::default(),
+        }
+    }
+
+    fn mgr(pool: u64) -> ScanSharingManager {
+        ScanSharingManager::new(SharingConfig::new(pool))
+    }
+
+    #[test]
+    fn first_scan_starts_from_the_beginning() {
+        let m = mgr(1000);
+        let (_, d) = m.start_scan(table_desc(0, 1000, 10), SimTime::ZERO);
+        assert!(d.is_from_start());
+        assert_eq!(m.num_active(), 1);
+    }
+
+    #[test]
+    fn second_table_scan_joins_the_first() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t = SimTime::from_secs(5);
+        m.update_location(s1, t, Location::new(500, 500), 500);
+        let (_, d) = m.start_scan(table_desc(0, 10_000, 100), t);
+        assert_eq!(
+            d,
+            StartDecision::JoinAt {
+                location: Location::new(500, 500),
+                scan: Some(s1),
+                back_up_pages: 0,
+            }
+        );
+        assert_eq!(m.stats().scans_joined, 1);
+    }
+
+    #[test]
+    fn scans_on_different_objects_do_not_join() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(5), Location::new(500, 500), 500);
+        let (_, d) = m.start_scan(table_desc(1, 10_000, 100), SimTime::from_secs(5));
+        assert!(d.is_from_start());
+    }
+
+    #[test]
+    fn index_scan_joins_only_within_key_range() {
+        let m = mgr(1000);
+        // Ongoing scan currently at key 50.
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(5), Location::new(50, 480), 480);
+        // New scan over keys [60, 90]: s1's key 50 is outside -> no join.
+        let (_, d) = m.start_scan(index_desc(0, 60, 90, 1500, 15), SimTime::from_secs(5));
+        assert!(d.is_from_start());
+        // New scan over [40, 100]: s1 is inside -> join.
+        let (_, d) = m.start_scan(index_desc(0, 40, 100, 3000, 30), SimTime::from_secs(5));
+        assert_eq!(d.join_location(), Some(Location::new(50, 480)));
+    }
+
+    #[test]
+    fn placement_disabled_always_starts_fresh() {
+        let m = ScanSharingManager::new(SharingConfig {
+            enable_placement: false,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(5), Location::new(500, 500), 500);
+        let (_, d) = m.start_scan(table_desc(0, 10_000, 100), SimTime::from_secs(5));
+        assert!(d.is_from_start());
+        assert_eq!(m.stats().scans_from_start, 2);
+    }
+
+    #[test]
+    fn joined_scans_form_a_group_and_roles_emerge() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, d) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        assert!(!d.is_from_start());
+        // s1 advances ahead of s2.
+        let t2 = SimTime::from_secs(6);
+        let o1 = m.update_location(s1, t2, Location::new(610, 610), 110);
+        let o2 = m.update_location(s2, t2, Location::new(600, 600), 100);
+        assert_eq!(o1.role, Role::Leader);
+        assert_eq!(o2.role, Role::Trailer);
+        assert_eq!(o1.priority, PagePriority::High);
+        assert_eq!(o2.priority, PagePriority::Low);
+        let groups = m.groups();
+        let g = groups.iter().find(|g| g.members.len() == 2).unwrap();
+        assert_eq!(g.extent, 10);
+    }
+
+    #[test]
+    fn drifting_leader_gets_throttled() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        // Leader sprints 200 pages while trailer crawls 40 -> distance
+        // 160 > 32-page threshold.
+        let o1 = m.update_location(s1, t2, Location::new(700, 700), 200);
+        assert_eq!(o1.role, Role::Leader);
+        assert!(o1.wait > SimDuration::ZERO, "leader must be throttled");
+        let o2 = m.update_location(s2, t2, Location::new(540, 540), 40);
+        assert_eq!(o2.role, Role::Trailer);
+        assert_eq!(o2.wait, SimDuration::ZERO, "trailers are never throttled");
+        let stats = m.stats();
+        assert_eq!(stats.waits_injected, 1);
+        assert!(stats.total_wait > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn no_throttle_when_disabled() {
+        let m = ScanSharingManager::new(SharingConfig {
+            enable_throttling: false,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        m.update_location(s2, t2, Location::new(540, 540), 40);
+        let o1 = m.update_location(s1, t2, Location::new(700, 700), 200);
+        assert_eq!(o1.wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn priorities_normal_when_disabled() {
+        let m = ScanSharingManager::new(SharingConfig {
+            enable_priorities: false,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let o = m.update_location(s1, SimTime::from_secs(1), Location::new(100, 100), 100);
+        assert_eq!(o.priority, PagePriority::Normal);
+        assert_eq!(m.page_priority(s1), PagePriority::Normal);
+    }
+
+    #[test]
+    fn lone_scan_after_finish_joins_leftovers() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(10), Location::new(80, 4000), 4000);
+        m.end_scan(s1, SimTime::from_secs(12));
+        assert_eq!(m.num_active(), 0);
+        let (_, d) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::from_secs(12));
+        assert_eq!(d.join_location(), Some(Location::new(80, 4000)));
+        assert_eq!(m.stats().scans_joined_finished, 1);
+    }
+
+    #[test]
+    fn churned_leftovers_are_not_joined() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(10), Location::new(80, 4000), 4000);
+        m.end_scan(s1, SimTime::from_secs(12));
+        // A big scan on another object churns more than the pool size.
+        let (s2, _) = m.start_scan(index_desc(1, 0, 100, 5000, 50), SimTime::from_secs(12));
+        m.update_location(s2, SimTime::from_secs(20), Location::new(90, 4500), 4500);
+        m.end_scan(s2, SimTime::from_secs(21));
+        // The leftovers of s1 are long gone: start fresh.
+        let (_, d) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::from_secs(21));
+        assert!(d.is_from_start());
+    }
+
+    #[test]
+    fn finished_scan_outside_range_is_not_joined() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(10), Location::new(80, 4000), 4000);
+        m.end_scan(s1, SimTime::from_secs(12));
+        let (_, d) = m.start_scan(index_desc(0, 0, 50, 2500, 25), SimTime::from_secs(12));
+        assert!(d.is_from_start());
+    }
+
+    #[test]
+    fn anchor_merge_on_location_coincidence() {
+        let m = mgr(10_000);
+        // Two index scans starting independently (different anchors).
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        let t = SimTime::from_millis(10);
+        m.update_location(s1, t, Location::new(10, 512), 512);
+        let (s2, d) = m.start_scan(index_desc(0, 0, 9, 500, 5), t);
+        // s2's range [0,9] does not contain s1's key 10 -> independent.
+        assert!(d.is_from_start());
+        // s2 eventually reaches the exact location s1 currently holds.
+        let t2 = SimTime::from_millis(20);
+        m.update_location(s2, t2, Location::new(10, 512), 200);
+        assert_eq!(m.stats().anchor_merges, 1);
+        // Now both are in one group.
+        let groups = m.groups();
+        assert!(groups.iter().any(|g| g.members.len() == 2));
+    }
+
+    #[test]
+    fn wrap_resets_index_anchor_but_not_table_group() {
+        let m = mgr(100_000);
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        let (s2, _) = m.start_scan(table_desc(1, 1000, 10), SimTime::ZERO);
+        let (s3, _) = m.start_scan(table_desc(1, 1000, 10), SimTime::ZERO);
+        m.update_location(s2, SimTime::from_secs(1), Location::new(100, 100), 100);
+        m.update_location(s3, SimTime::from_secs(1), Location::new(120, 120), 120);
+        // Table scans share a group before and after wrapping.
+        m.wrap_scan(s3, SimTime::from_secs(2), Location::new(0, 0));
+        let groups = m.groups();
+        let table_group = groups
+            .iter()
+            .find(|g| g.members.contains(&s2) && g.members.contains(&s3));
+        assert!(table_group.is_some(), "table scans stay comparable");
+        // Index scan wraps to a fresh anchor: it is its own group.
+        m.update_location(s1, SimTime::from_secs(2), Location::new(50, 2500), 2500);
+        m.wrap_scan(s1, SimTime::from_secs(3), Location::new(0, 0));
+        let groups = m.groups();
+        let g1 = groups.iter().find(|g| g.members.contains(&s1)).unwrap();
+        assert_eq!(g1.members.len(), 1);
+    }
+
+    #[test]
+    fn end_scan_is_idempotent_and_updates_after_end_are_noops() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 100, 1), SimTime::ZERO);
+        m.end_scan(s1, SimTime::from_secs(1));
+        m.end_scan(s1, SimTime::from_secs(1));
+        let o = m.update_location(s1, SimTime::from_secs(2), Location::new(5, 5), 5);
+        assert_eq!(o.wait, SimDuration::ZERO);
+        assert_eq!(m.stats().scans_finished, 1);
+    }
+
+    #[test]
+    fn speed_tracks_recent_progress() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        assert!((m.scan_speed(s1).unwrap() - 100.0).abs() < 1e-9);
+        m.update_location(s1, SimTime::from_secs(2), Location::new(500, 500), 500);
+        assert!((m.scan_speed(s1).unwrap() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_strategy_places_table_scans_anywhere() {
+        use crate::config::PlacementStrategy;
+        let m = ScanSharingManager::new(SharingConfig {
+            placement_strategy: PlacementStrategy::Optimal,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t = SimTime::from_secs(5);
+        m.update_location(s1, t, Location::new(500, 500), 500);
+        let (_, d) = m.start_scan(table_desc(0, 10_000, 100), t);
+        // Placed somewhere in range, and counted as an optimal placement.
+        let loc = d.join_location().expect("placed");
+        assert!((0..10_000).contains(&loc.key));
+        let stats = m.stats();
+        assert_eq!(stats.scans_placed_optimal, 1);
+        assert_eq!(stats.scans_joined_finished, 0);
+    }
+
+    #[test]
+    fn optimal_strategy_falls_back_for_index_scans() {
+        use crate::config::PlacementStrategy;
+        let m = ScanSharingManager::new(SharingConfig {
+            placement_strategy: PlacementStrategy::Optimal,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(5), Location::new(50, 480), 480);
+        let (_, d) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::from_secs(5));
+        // Practical algorithm: joins the member's exact location.
+        assert_eq!(d.join_location(), Some(Location::new(50, 480)));
+        assert_eq!(m.stats().scans_joined, 1);
+    }
+
+    #[test]
+    fn attach_strategy_joins_unconditionally() {
+        use crate::config::PlacementStrategy;
+        let m = ScanSharingManager::new(SharingConfig {
+            placement_strategy: PlacementStrategy::AlwaysAttach,
+            ..SharingConfig::new(1000)
+        });
+        // A scan that is nearly done: the practical algorithm would
+        // refuse to join it; attach does anyway.
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(49), Location::new(99, 4990), 4990);
+        let (_, d) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::from_secs(49));
+        assert_eq!(d.join_location(), Some(Location::new(99, 4990)));
+        assert_eq!(m.stats().scans_joined, 1);
+    }
+
+    #[test]
+    fn attach_picks_the_scan_with_most_remaining_work() {
+        use crate::config::PlacementStrategy;
+        let m = ScanSharingManager::new(SharingConfig {
+            placement_strategy: PlacementStrategy::AlwaysAttach,
+            ..SharingConfig::new(1000)
+        });
+        let (s1, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        let (s2, _) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::ZERO);
+        // s1 is far along; s2 has barely started.
+        m.update_location(s1, SimTime::from_secs(40), Location::new(80, 4000), 4000);
+        m.update_location(s2, SimTime::from_secs(40), Location::new(10, 500), 500);
+        let (_, d) = m.start_scan(index_desc(0, 0, 100, 5000, 50), SimTime::from_secs(40));
+        assert_eq!(
+            d,
+            StartDecision::JoinAt {
+                location: Location::new(10, 500),
+                scan: Some(s2),
+                back_up_pages: 0
+            }
+        );
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScanSharingManager>();
+    }
+
+    #[test]
+    fn concurrent_use_from_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(mgr(10_000));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let (id, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+                for step in 1..50u64 {
+                    m.update_location(
+                        id,
+                        SimTime::from_millis(step * 10 + i),
+                        Location::new((step * 16) as i64, step * 16),
+                        16,
+                    );
+                }
+                m.end_scan(id, SimTime::from_secs(1));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.num_active(), 0);
+        assert_eq!(m.stats().scans_finished, 4);
+    }
+}

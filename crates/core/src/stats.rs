@@ -1,0 +1,41 @@
+//! Counters the sharing manager keeps about its own decisions.
+
+use scanshare_storage::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over the manager's lifetime.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SharingStats {
+    /// Scans registered.
+    pub scans_started: u64,
+    /// Scans that finished.
+    pub scans_finished: u64,
+    /// Scans placed at an ongoing scan's location.
+    pub scans_joined: u64,
+    /// Scans placed at the last finished scan's location (the special
+    /// case of Figure 13, line 2).
+    pub scans_joined_finished: u64,
+    /// Scans placed by the optimal interesting-locations search at a
+    /// location that is not any ongoing scan's position.
+    pub scans_placed_optimal: u64,
+    /// Scans that started at their own start key.
+    pub scans_from_start: u64,
+    /// Anchor-group merges triggered by location coincidence (§7.1).
+    pub anchor_merges: u64,
+    /// Throttle waits injected.
+    pub waits_injected: u64,
+    /// Total injected wait time.
+    pub total_wait: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = SharingStats::default();
+        assert_eq!(s.scans_started, 0);
+        assert_eq!(s.total_wait, SimDuration::ZERO);
+    }
+}

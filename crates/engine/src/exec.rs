@@ -1,0 +1,360 @@
+//! The execution world: disk + pool + CPUs + sharing manager, advanced
+//! over virtual time.
+//!
+//! [`ExecWorld`] is the per-run mutable state. Scan operators call
+//! [`ExecWorld::fetch_extent`] to bring an extent's pages into the pool
+//! (paying disk time for misses and riding in-flight reads of other
+//! scans), [`ExecWorld::run_cpu`] to occupy a CPU, and
+//! [`ExecWorld::release_pages`] to unpin with the manager's priority.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+use scanshare::ScanSharingManager;
+use scanshare_storage::{
+    BufferPool, DiskArray, FileStore, FixOutcome, PageBuf, PageId, PagePriority, SimDuration,
+    SimTime, StorageResult,
+};
+
+use crate::cost::EngineConfig;
+use crate::metrics::Breakdown;
+
+/// Result of fetching one extent.
+#[derive(Debug)]
+pub struct FetchResult {
+    /// When every page of the extent is available (>= request time).
+    pub ready: SimTime,
+    /// The fetched pages, pinned in the pool.
+    pub pages: Vec<(PageId, PageBuf)>,
+    /// Pool hits.
+    pub hits: u64,
+    /// Pages this fetch physically read.
+    pub misses: u64,
+    /// Physical read requests issued (for system-time accounting).
+    pub requests: u64,
+}
+
+/// Per-run mutable execution state.
+pub struct ExecWorld<'a> {
+    /// The shared, read-only page store.
+    pub store: &'a FileStore,
+    /// The disk model (timing + counters): a striped array, one disk by
+    /// default.
+    pub disk: DiskArray,
+    /// The buffer pool.
+    pub pool: BufferPool,
+    /// The sharing manager, if this run has one.
+    pub mgr: Option<Arc<ScanSharingManager>>,
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// Optional structured event log.
+    pub tracer: Option<crate::trace::Tracer>,
+    cpus: BinaryHeap<Reverse<u64>>,
+    /// When each resident page became (or becomes) available — lets a
+    /// scan ride an in-flight read issued by another scan instead of
+    /// double-reading the page.
+    available_at: HashMap<PageId, SimTime>,
+    /// CPU usage accumulators (user/system; idle and wait are derived at
+    /// report time).
+    pub user_time: SimDuration,
+    /// Kernel time charged for read requests.
+    pub sys_time: SimDuration,
+    /// Total time tasks spent blocked on page availability.
+    pub io_wait_time: SimDuration,
+}
+
+impl<'a> ExecWorld<'a> {
+    /// Create a world over `store` with a fresh pool and disk.
+    pub fn new(
+        store: &'a FileStore,
+        pool: BufferPool,
+        cfg: EngineConfig,
+        mgr: Option<Arc<ScanSharingManager>>,
+    ) -> Self {
+        let disk = DiskArray::new(cfg.disk.clone(), cfg.n_disks.max(1), cfg.extent_pages.max(1));
+        let cpus = (0..cfg.n_cpus).map(|_| Reverse(0u64)).collect();
+        ExecWorld {
+            store,
+            disk,
+            pool,
+            mgr,
+            cfg,
+            tracer: None,
+            cpus,
+            available_at: HashMap::new(),
+            user_time: SimDuration::ZERO,
+            sys_time: SimDuration::ZERO,
+            io_wait_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Bring `page_ids` (one extent, in scan order) into the pool at time
+    /// `now`. Misses are grouped into physically-contiguous runs, each
+    /// serviced as one disk request. Pages stay pinned until
+    /// [`ExecWorld::release_pages`].
+    pub fn fetch_extent(&mut self, now: SimTime, page_ids: &[PageId]) -> StorageResult<FetchResult> {
+        let mut ready = now;
+        let mut pages = Vec::with_capacity(page_ids.len());
+        let mut hits = 0u64;
+        let mut requests = 0u64;
+        // (page, physical address) of each miss, in scan order.
+        let mut misses: Vec<(PageId, u64)> = Vec::new();
+        for &id in page_ids {
+            match self.pool.fix(id) {
+                FixOutcome::Hit(buf) => {
+                    hits += 1;
+                    if let Some(&avail) = self.available_at.get(&id) {
+                        // Ride another scan's in-flight read.
+                        ready = ready.max(avail);
+                    }
+                    pages.push((id, buf));
+                }
+                FixOutcome::Miss => {
+                    misses.push((id, self.store.physical(id)?));
+                }
+            }
+        }
+        // Service misses as contiguous runs.
+        let n_misses = misses.len() as u64;
+        let mut i = 0;
+        while i < misses.len() {
+            let mut j = i + 1;
+            while j < misses.len() && misses[j].1 == misses[j - 1].1 + 1 {
+                j += 1;
+            }
+            let (first, phys) = misses[i];
+            let _ = first;
+            let completion = self.disk.read(now, phys, (j - i) as u32);
+            requests += 1;
+            ready = ready.max(completion.done);
+            for &(id, _) in &misses[i..j] {
+                let buf = self.store.read_page(id)?;
+                self.pool.complete_miss(id, buf.clone())?;
+                self.available_at.insert(id, completion.done);
+                pages.push((id, buf));
+            }
+            i = j;
+        }
+        // Keep the extent in scan order for row processing.
+        pages.sort_by_key(|&(id, _)| id);
+        let sys = SimDuration::from_micros(self.cfg.sys_per_request.as_micros() * requests);
+        self.sys_time += sys;
+        self.io_wait_time += ready.since(now);
+        Ok(FetchResult {
+            ready,
+            pages,
+            hits,
+            misses: n_misses,
+            requests,
+        })
+    }
+
+    /// Issue an asynchronous read for pages a scan will need soon. The
+    /// pages are installed unpinned with normal priority and their
+    /// availability time recorded, so the scan's next `fetch_extent`
+    /// finds them resident and only waits out the remaining disk time.
+    /// No-op for pages already resident.
+    pub fn prefetch(&mut self, now: SimTime, page_ids: &[PageId]) -> StorageResult<()> {
+        let mut misses: Vec<(PageId, u64)> = Vec::new();
+        for &id in page_ids {
+            if !self.pool.contains(id) {
+                misses.push((id, self.store.physical(id)?));
+            }
+        }
+        let mut i = 0;
+        while i < misses.len() {
+            let mut j = i + 1;
+            while j < misses.len() && misses[j].1 == misses[j - 1].1 + 1 {
+                j += 1;
+            }
+            let (_, phys) = misses[i];
+            let completion = self.disk.read(now, phys, (j - i) as u32);
+            self.sys_time += self.cfg.sys_per_request;
+            for &(id, _) in &misses[i..j] {
+                let buf = self.store.read_page(id)?;
+                self.pool.complete_miss(id, buf)?;
+                // A prefetched page is needed immediately: release it
+                // high so a priority-aware pool does not victimize it
+                // before the scan arrives. The scan's own release
+                // re-prioritizes it according to its group role.
+                self.pool.release(id, PagePriority::High)?;
+                self.available_at.insert(id, completion.done);
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Occupy one CPU for `cost`, starting no earlier than `ready`.
+    /// Returns the completion time. Accounted as user time.
+    pub fn run_cpu(&mut self, ready: SimTime, cost: SimDuration) -> SimTime {
+        let Reverse(free) = self.cpus.pop().expect("at least one CPU");
+        let start = ready.max(SimTime::from_micros(free));
+        let done = start + cost;
+        self.cpus.push(Reverse(done.as_micros()));
+        self.user_time += cost;
+        done
+    }
+
+    /// Unpin an extent's pages with the given release priority.
+    pub fn release_pages(
+        &mut self,
+        pages: &[(PageId, PageBuf)],
+        priority: PagePriority,
+    ) -> StorageResult<()> {
+        for &(id, _) in pages {
+            self.pool.release(id, priority)?;
+        }
+        Ok(())
+    }
+
+    /// Derive the run-level CPU breakdown, given the run's end time.
+    pub fn breakdown(&self, makespan: SimDuration) -> Breakdown {
+        let capacity = SimDuration::from_micros(
+            makespan.as_micros() * self.cfg.n_cpus as u64,
+        );
+        let busy = self.user_time + self.sys_time;
+        let idle_raw = capacity.saturating_sub(busy);
+        // A CPU can only be "waiting on I/O" while idle; clamp.
+        let io_wait = self.io_wait_time.min(idle_raw);
+        let idle = idle_raw.saturating_sub(io_wait);
+        Breakdown {
+            user: self.user_time,
+            system: self.sys_time,
+            idle,
+            io_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_storage::{PoolConfig, ReplacementPolicy, PAGE_SIZE};
+    use bytes::Bytes;
+
+    fn store_with_pages(n: u32) -> FileStore {
+        let mut s = FileStore::new(16);
+        let f = s.create_file();
+        for i in 0..n {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = i as u8;
+            s.append_page(f, Bytes::from(page)).unwrap();
+        }
+        s
+    }
+
+    fn world(store: &FileStore, pool_pages: usize) -> ExecWorld<'_> {
+        let pool = BufferPool::new(PoolConfig::new(pool_pages, ReplacementPolicy::Lru));
+        ExecWorld::new(store, pool, EngineConfig::default(), None)
+    }
+
+    fn pids(n: u32) -> Vec<PageId> {
+        (0..n).map(|p| PageId::new(scanshare_storage::FileId(0), p)).collect()
+    }
+
+    #[test]
+    fn cold_fetch_pays_one_seek_per_contiguous_run() {
+        let store = store_with_pages(32);
+        let mut w = world(&store, 64);
+        let r = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        assert_eq!(r.misses, 16);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.requests, 1, "contiguous extent = one request");
+        assert_eq!(w.disk.stats().seeks, 1);
+        assert!(r.ready > SimTime::ZERO);
+        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn warm_fetch_is_instant() {
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        let r1 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        w.release_pages(&r1.pages, PagePriority::Normal).unwrap();
+        let t = SimTime::from_secs(1);
+        let r2 = w.fetch_extent(t, &pids(16)).unwrap();
+        assert_eq!(r2.misses, 0);
+        assert_eq!(r2.hits, 16);
+        assert_eq!(r2.ready, t, "no new I/O time");
+        w.release_pages(&r2.pages, PagePriority::Normal).unwrap();
+        assert_eq!(w.disk.stats().pages_read, 16);
+    }
+
+    #[test]
+    fn riding_an_in_flight_read_waits_for_its_completion() {
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        let r1 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        // A second task at the same instant: pages are resident but only
+        // available when the first task's read completes.
+        let r2 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        assert_eq!(r2.misses, 0);
+        assert_eq!(r2.ready, r1.ready);
+        w.release_pages(&r1.pages, PagePriority::Normal).unwrap();
+        w.release_pages(&r2.pages, PagePriority::Normal).unwrap();
+        w.release_pages(&r1.pages, PagePriority::Normal).unwrap_err();
+    }
+
+    #[test]
+    fn pages_come_back_in_scan_order() {
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        // Warm up pages 4..8 so the extent is part hit, part miss.
+        let warm: Vec<PageId> = pids(16)[4..8].to_vec();
+        let r = w.fetch_extent(SimTime::ZERO, &warm).unwrap();
+        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+        let r = w.fetch_extent(SimTime::from_millis(1), &pids(16)).unwrap();
+        assert_eq!(r.hits, 4);
+        assert_eq!(r.misses, 12);
+        assert_eq!(r.requests, 2, "two contiguous miss runs: 0..4 and 8..16");
+        let order: Vec<u32> = r.pages.iter().map(|&(id, _)| id.page).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn cpu_server_serializes_beyond_capacity() {
+        let store = store_with_pages(1);
+        let mut w = world(&store, 8);
+        w.cfg.n_cpus = 2;
+        // Rebuild with 2 CPUs.
+        let pool = BufferPool::new(PoolConfig::new(8, ReplacementPolicy::Lru));
+        let mut w = ExecWorld::new(
+            &store,
+            pool,
+            EngineConfig {
+                n_cpus: 2,
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        let c = SimDuration::from_millis(10);
+        let d1 = w.run_cpu(SimTime::ZERO, c);
+        let d2 = w.run_cpu(SimTime::ZERO, c);
+        let d3 = w.run_cpu(SimTime::ZERO, c);
+        assert_eq!(d1, SimTime::from_millis(10));
+        assert_eq!(d2, SimTime::from_millis(10));
+        assert_eq!(d3, SimTime::from_millis(20), "third job queues");
+        assert_eq!(w.user_time, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn breakdown_accounts_capacity() {
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        let r = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+        let done = w.run_cpu(r.ready, SimDuration::from_millis(5));
+        let b = w.breakdown(done.since(SimTime::ZERO));
+        let total = b.user + b.system + b.idle + b.io_wait;
+        assert_eq!(
+            total.as_micros(),
+            done.as_micros() * 4,
+            "4 CPUs worth of time accounted"
+        );
+        assert_eq!(b.user, SimDuration::from_millis(5));
+        assert!(b.io_wait > SimDuration::ZERO);
+    }
+}

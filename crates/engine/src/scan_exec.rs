@@ -1,0 +1,1026 @@
+//! Scan operators: plain and sharing table scans, IXSCAN and SISCAN.
+//!
+//! One [`ScanExec`] is the engine-side state machine of a single scan.
+//! Each `step` processes one extent (a 16-page run for table scans, one
+//! MDC block for index scans), paying I/O and CPU through the
+//! [`ExecWorld`], and — when a sharing manager is attached — performing
+//! the paper's three extra calls: register at start (with placement),
+//! update location per extent (receiving throttle waits and release
+//! priorities), deregister at the end.
+//!
+//! A scan placed mid-range runs in two phases, exactly like the paper's
+//! SISCAN (Figure 3): from the assigned start location to the end of the
+//! range, then a wrap back to the original start key for the remainder.
+
+use scanshare::{Location, ObjectId, ScanDesc, ScanId, ScanKind};
+use scanshare_relstore::{Entry, HeapPage, Rid, RowRef, Schema};
+use scanshare_storage::{FileId, PageId, PagePriority, SimDuration, SimTime};
+
+use crate::cost::CpuClass;
+use crate::db::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::exec::ExecWorld;
+use crate::query::{Access, AggSpec, Pred, QueryResult, ScanSpec};
+
+/// Scan progress plan.
+#[derive(Debug)]
+enum Plan {
+    /// Circular walk over all table pages, starting at `start_page`.
+    Table {
+        num_pages: u32,
+        start_page: u32,
+        /// Pages processed so far.
+        visited: u32,
+    },
+    /// Walk over the `(cell key, BID)` entries of a block index range,
+    /// one block per step, starting at `start_idx`.
+    Index {
+        entries: Vec<Entry>,
+        block_pages: u32,
+        start_idx: usize,
+        /// Entries processed so far.
+        visited: usize,
+    },
+    /// Walk over the `(key, RID)` entries of a secondary index, fetching
+    /// each row's page; one extent's worth of *distinct pages* per step.
+    /// The pages behind consecutive keys are scattered (§3.2), so this
+    /// plan seeks heavily when cold.
+    Rid {
+        entries: Vec<Entry>,
+        start_idx: usize,
+        /// Entries processed so far.
+        visited: usize,
+    },
+}
+
+/// What a step evaluates on its fetched pages.
+enum StepWork {
+    /// Every row of every fetched page (table and block index scans).
+    AllRows,
+    /// Exactly these `(page, slot)` rows, plus the count of distinct
+    /// pages in the chunk (RID index scans).
+    Rids(Vec<(PageId, u16)>, u64),
+}
+
+/// Measurements a finished scan hands back to its query.
+#[derive(Debug, Clone, Default)]
+pub struct ScanMetrics {
+    /// CPU time spent processing rows.
+    pub cpu: SimDuration,
+    /// Time blocked waiting for pages.
+    pub io_wait: SimDuration,
+    /// Throttle wait injected by the manager.
+    pub throttle_wait: SimDuration,
+    /// Buffer pool fixes.
+    pub logical_reads: u64,
+    /// Pages physically read on behalf of this scan.
+    pub physical_reads: u64,
+}
+
+/// One executing scan.
+#[derive(Debug)]
+pub struct ScanExec {
+    file: FileId,
+    schema: Schema,
+    pred: Pred,
+    agg: AggSpec,
+    cpu: CpuClass,
+    plan: Plan,
+    mgr_scan: Option<ScanId>,
+    /// Human-readable description of the placement decision (tracing).
+    placement: String,
+    /// Ring of this scan's recently released pages, when the scan is
+    /// unshared and large: vanilla engines recycle sequential-scan
+    /// buffers through a small ring instead of letting one scan flush
+    /// the pool. `None` when sharing manages retention instead.
+    ring: Option<(std::collections::VecDeque<PageId>, usize)>,
+    /// Pending wrap notification (phase 1 just ended).
+    needs_wrap: bool,
+    /// Aggregation state.
+    count: u64,
+    sums: Vec<f64>,
+    groups: std::collections::HashMap<i64, crate::query::GroupAgg>,
+    /// Metrics.
+    pub metrics: ScanMetrics,
+}
+
+impl ScanExec {
+    /// Plan and register a scan at time `now`. When `world.mgr` is set,
+    /// this is where placement happens: the manager may start the scan
+    /// in the middle of its range.
+    pub fn start(
+        db: &Database,
+        world: &mut ExecWorld<'_>,
+        spec: &ScanSpec,
+        now: SimTime,
+    ) -> EngineResult<ScanExec> {
+        let table = db
+            .table(&spec.table)
+            .ok_or_else(|| EngineError::UnknownTable(spec.table.clone()))?;
+        let file = table.file();
+        let schema = table.schema().clone();
+        let rows_per_page = if table.num_pages() == 0 {
+            0
+        } else {
+            table.num_rows() / table.num_pages() as u64
+        };
+
+        // Build the plan skeleton and the manager registration record.
+        let (mut plan, desc) = match &spec.access {
+            Access::FullTable => {
+                let num_pages = table.num_pages();
+                let desc = ScanDesc {
+                    kind: ScanKind::Table,
+                    object: ObjectId(file.0 as u64),
+                    start_key: 0,
+                    end_key: num_pages.saturating_sub(1) as i64,
+                    est_pages: num_pages as u64,
+                    est_time: Self::estimate_time(world, spec, num_pages as u64, rows_per_page),
+                    priority: spec.query_priority,
+                };
+                (
+                    Plan::Table {
+                        num_pages,
+                        start_page: 0,
+                        visited: 0,
+                    },
+                    desc,
+                )
+            }
+            Access::RidRange { lo, hi } => {
+                let index = table
+                    .rid_index
+                    .as_ref()
+                    .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
+                let entries = index.range(db.store(), *lo, *hi)?;
+                // Low-selectivity RID fetches touch roughly one distinct
+                // page per entry, capped by the table size.
+                let est_pages = (entries.len() as u64).min(table.num_pages() as u64);
+                let desc = ScanDesc {
+                    kind: ScanKind::Index,
+                    object: ObjectId(file.0 as u64),
+                    start_key: *lo,
+                    end_key: *hi,
+                    est_pages,
+                    est_time: Self::estimate_time(world, spec, est_pages, 1),
+                    priority: spec.query_priority,
+                };
+                (
+                    Plan::Rid {
+                        entries,
+                        start_idx: 0,
+                        visited: 0,
+                    },
+                    desc,
+                )
+            }
+            Access::IndexRange { lo, hi } => {
+                let mdc = table
+                    .as_mdc()
+                    .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
+                let entries = mdc.blocks_for_range(db.store(), *lo, *hi)?;
+                let est_pages = entries.len() as u64 * mdc.block_pages as u64;
+                let desc = ScanDesc {
+                    kind: ScanKind::Index,
+                    object: ObjectId(file.0 as u64),
+                    start_key: *lo,
+                    end_key: *hi,
+                    est_pages,
+                    est_time: Self::estimate_time(world, spec, est_pages, rows_per_page),
+                    priority: spec.query_priority,
+                };
+                (
+                    Plan::Index {
+                        entries,
+                        block_pages: mdc.block_pages,
+                        start_idx: 0,
+                        visited: 0,
+                    },
+                    desc,
+                )
+            }
+        };
+
+        // Placement: ask the manager where to start. Scope toggles let
+        // experiments run table-scan sharing alone (ICDE scope) or with
+        // the index-scan extension (VLDB scope).
+        let kind_shared = !spec.require_order
+            && match desc.kind {
+                ScanKind::Table => world.cfg.share_table_scans,
+                ScanKind::Index => world.cfg.share_index_scans,
+            };
+        let est_pages = desc.est_pages;
+        let mut mgr_scan = None;
+        let mut placement = "unmanaged".to_string();
+        if let (Some(mgr), true) = (world.mgr.clone(), kind_shared) {
+            let (id, decision) = mgr.start_scan(desc, now);
+            mgr_scan = Some(id);
+            placement = crate::trace::placement_label(&decision);
+            if let scanshare::StartDecision::JoinAt {
+                location: loc,
+                back_up_pages,
+                ..
+            } = decision
+            {
+                match &mut plan {
+                    Plan::Table {
+                        num_pages,
+                        start_page,
+                        ..
+                    } => {
+                        let at = (loc.pos as u32).min(num_pages.saturating_sub(1));
+                        *start_page = at.saturating_sub(back_up_pages as u32);
+                    }
+                    Plan::Index {
+                        entries,
+                        block_pages,
+                        start_idx,
+                        ..
+                    } => {
+                        // Find the exact joined entry; fall back to the
+                        // first entry at or after the joined key; then
+                        // back up by the hinted number of pages (the
+                        // finished scan's leftovers in the pool).
+                        let exact = entries
+                            .iter()
+                            .position(|e| e.key == loc.key && e.payload == loc.pos);
+                        let near = entries.iter().position(|e| e.key >= loc.key);
+                        let at = exact.or(near).unwrap_or(0);
+                        let back = (back_up_pages / *block_pages as u64) as usize;
+                        *start_idx = at.saturating_sub(back);
+                    }
+                    Plan::Rid {
+                        entries, start_idx, ..
+                    } => {
+                        // ~1 page per entry: back up one entry per page.
+                        let exact = entries
+                            .iter()
+                            .position(|e| e.key == loc.key && e.payload == loc.pos);
+                        let near = entries.iter().position(|e| e.key >= loc.key);
+                        let at = exact.or(near).unwrap_or(0);
+                        *start_idx = at.saturating_sub(back_up_pages as usize);
+                    }
+                }
+            }
+        }
+
+        // Large scans recycle their buffers through a bounded ring, like
+        // vanilla engines. Shared scans keep the ring too, but with a
+        // pool-sized cap and only while *ungrouped* (singletons): the
+        // manager wants a finished scan's trail retained (last-finished
+        // placement), yet an ungrouped giant must not flush everything
+        // hotter than it. Once grouped, retention is the manager's job
+        // (leader/trailer priorities) and the ring is dropped.
+        let ring_pages = if world.mgr.is_some() && kind_shared {
+            (world.pool.capacity() / 2).max(world.cfg.seq_ring_pages as usize)
+        } else {
+            world.cfg.seq_ring_pages as usize
+        };
+        let large = est_pages as usize > world.pool.capacity() / 4;
+        let ring = (ring_pages > 0 && world.cfg.seq_ring_pages > 0 && large)
+            .then(|| (std::collections::VecDeque::new(), ring_pages));
+
+        let n_sums = spec.agg.sum_cols.len();
+        Ok(ScanExec {
+            file,
+            schema,
+            pred: spec.pred.clone(),
+            agg: spec.agg.clone(),
+            cpu: spec.cpu,
+            plan,
+            mgr_scan,
+            placement,
+            ring,
+            needs_wrap: false,
+            count: 0,
+            sums: vec![0.0; n_sums],
+            groups: std::collections::HashMap::new(),
+            metrics: ScanMetrics::default(),
+        })
+    }
+
+    /// The cost-model scan-time estimate (the "costing component of the
+    /// query compiler"): assume a cold run — one seek per extent plus
+    /// transfer, system and CPU time.
+    fn estimate_time(
+        world: &ExecWorld<'_>,
+        spec: &ScanSpec,
+        est_pages: u64,
+        rows_per_page: u64,
+    ) -> SimDuration {
+        let extent = world.cfg.extent_pages as u64;
+        if est_pages == 0 {
+            return SimDuration::from_micros(1);
+        }
+        let extents = est_pages.div_ceil(extent);
+        let per_extent = world.cfg.disk.seek
+            + world.cfg.disk.transfer_per_page.times(extent)
+            + world.cfg.sys_per_request
+            + spec.cpu.extent_cost(extent, rows_per_page * extent);
+        SimDuration::from_micros(per_extent.as_micros() * extents)
+    }
+
+    /// Whether the scan has processed its whole range.
+    pub fn finished(&self) -> bool {
+        match &self.plan {
+            Plan::Table {
+                num_pages, visited, ..
+            } => *visited >= *num_pages,
+            Plan::Index {
+                entries, visited, ..
+            } => *visited >= entries.len(),
+            Plan::Rid {
+                entries, visited, ..
+            } => *visited >= entries.len(),
+        }
+    }
+
+    /// The scan's answer (valid once finished).
+    pub fn result(&self) -> QueryResult {
+        let mut groups: Vec<(i64, crate::query::GroupAgg)> = self
+            .groups
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        groups.sort_by_key(|g| g.0);
+        QueryResult {
+            count: self.count,
+            sums: self.sums.clone(),
+            groups,
+        }
+    }
+
+    /// Fold one qualifying row into the aggregation state. Free-standing
+    /// over disjoint fields so a `RowRef` borrowing `self.schema` can be
+    /// live at the call site.
+    #[inline]
+    fn accumulate(
+        agg: &AggSpec,
+        count: &mut u64,
+        sums: &mut [f64],
+        groups: &mut std::collections::HashMap<i64, crate::query::GroupAgg>,
+        row: &RowRef<'_>,
+    ) {
+        *count += 1;
+        for (i, &col) in agg.sum_cols.iter().enumerate() {
+            sums[i] += row.get_f64(col);
+        }
+        if !agg.group_by.is_empty() {
+            let key = agg.group_key(row);
+            let g = groups.entry(key).or_insert_with(|| crate::query::GroupAgg {
+                count: 0,
+                sums: vec![0.0; agg.sum_cols.len()],
+            });
+            g.count += 1;
+            for (i, &col) in agg.sum_cols.iter().enumerate() {
+                g.sums[i] += row.get_f64(col);
+            }
+        }
+    }
+
+    /// The manager id of this scan, if shared.
+    pub fn scan_id(&self) -> Option<ScanId> {
+        self.mgr_scan
+    }
+
+    /// How placement started this scan (for tracing).
+    pub fn placement_label(&self) -> &str {
+        &self.placement
+    }
+
+    /// The pages the *next* step will touch (table and block index
+    /// plans; RID chunks are not predicted). Used for prefetching.
+    fn peek_next_pages(&self, extent_pages: u32) -> Vec<PageId> {
+        match &self.plan {
+            Plan::Table {
+                num_pages,
+                start_page,
+                visited,
+            } => {
+                if visited >= num_pages {
+                    return Vec::new();
+                }
+                let cur = (start_page + visited) % num_pages;
+                let chunk = extent_pages.min(num_pages - cur).min(num_pages - visited);
+                (cur..cur + chunk)
+                    .map(|p| PageId::new(self.file, p))
+                    .collect()
+            }
+            Plan::Index {
+                entries,
+                block_pages,
+                start_idx,
+                visited,
+            } => {
+                if *visited >= entries.len() {
+                    return Vec::new();
+                }
+                let e = entries[(start_idx + visited) % entries.len()];
+                let first = e.payload as u32 * block_pages;
+                (first..first + block_pages)
+                    .map(|p| PageId::new(self.file, p))
+                    .collect()
+            }
+            Plan::Rid { .. } => Vec::new(),
+        }
+    }
+
+    /// Advance by one extent. Returns the time at which the scan may take
+    /// its next step, or `None` once it has finished (the manager is
+    /// deregistered at that point).
+    pub fn step(&mut self, world: &mut ExecWorld<'_>, now: SimTime) -> EngineResult<Option<SimTime>> {
+        if self.finished() {
+            if let (Some(id), Some(mgr)) = (self.mgr_scan.take(), world.mgr.clone()) {
+                mgr.end_scan(id, now);
+                if let Some(tr) = &world.tracer {
+                    tr.record(now, crate::trace::TraceEvent::ScanFinished { scan: id });
+                }
+            }
+            return Ok(None);
+        }
+
+        // Gather this extent's pages, what to evaluate on them, and the
+        // location reported afterwards.
+        let (page_ids, work, location, units, wrap_after) = match &self.plan {
+            Plan::Table {
+                num_pages,
+                start_page,
+                visited,
+            } => {
+                let cur = (start_page + visited) % num_pages;
+                // Do not cross the wrap boundary within one extent.
+                let chunk = world
+                    .cfg
+                    .extent_pages
+                    .min(num_pages - cur)
+                    .min(num_pages - visited);
+                let ids: Vec<PageId> = (cur..cur + chunk)
+                    .map(|p| PageId::new(self.file, p))
+                    .collect();
+                let last = cur + chunk - 1;
+                let wraps = cur + chunk == *num_pages && visited + chunk < *num_pages;
+                (
+                    ids,
+                    StepWork::AllRows,
+                    Location::new(last as i64, last as u64),
+                    chunk as u64,
+                    wraps,
+                )
+            }
+            Plan::Index {
+                entries,
+                block_pages,
+                start_idx,
+                visited,
+            } => {
+                let idx = (start_idx + visited) % entries.len();
+                let e = entries[idx];
+                let first_page = e.payload as u32 * block_pages;
+                let ids: Vec<PageId> = (first_page..first_page + block_pages)
+                    .map(|p| PageId::new(self.file, p))
+                    .collect();
+                let wraps = idx + 1 == entries.len() && visited + 1 < entries.len();
+                (
+                    ids,
+                    StepWork::AllRows,
+                    Location::new(e.key, e.payload),
+                    1u64,
+                    wraps,
+                )
+            }
+            Plan::Rid {
+                entries,
+                start_idx,
+                visited,
+            } => {
+                // Consume entries until the chunk spans one extent's
+                // worth of distinct pages (or the phase boundary).
+                let len = entries.len();
+                let extent = world.cfg.extent_pages as usize;
+                let max_entries = extent * 32;
+                let mut ids: Vec<PageId> = Vec::with_capacity(extent);
+                let mut rids: Vec<(PageId, u16)> = Vec::new();
+                let mut taken = 0usize;
+                let mut last = entries[(start_idx + visited) % len];
+                while visited + taken < len && taken < max_entries {
+                    let e = entries[(start_idx + visited + taken) % len];
+                    let rid = Rid::unpack(e.payload);
+                    let pid = PageId::new(self.file, rid.page);
+                    if !ids.contains(&pid) {
+                        if ids.len() == extent {
+                            break;
+                        }
+                        ids.push(pid);
+                    }
+                    rids.push((pid, rid.slot));
+                    last = e;
+                    taken += 1;
+                    // Never cross the wrap boundary within one chunk.
+                    if (start_idx + visited + taken).is_multiple_of(len) {
+                        break;
+                    }
+                }
+                let after = visited + taken;
+                let wraps = (start_idx + after).is_multiple_of(len) && after < len;
+                let units_pages = ids.len() as u64;
+                (
+                    ids,
+                    StepWork::Rids(rids, units_pages),
+                    Location::new(last.key, last.payload),
+                    taken as u64,
+                    wraps,
+                )
+            }
+        };
+
+        // A pending wrap from the previous step is reported before new
+        // work: the scan is now at the start of its second phase.
+        if self.needs_wrap {
+            if let (Some(id), Some(mgr)) = (self.mgr_scan, world.mgr.clone()) {
+                let first_loc = match &self.plan {
+                    Plan::Table { .. } => Location::new(
+                        page_ids[0].page as i64,
+                        page_ids[0].page as u64,
+                    ),
+                    Plan::Index { entries, .. } | Plan::Rid { entries, .. } => {
+                        Location::new(entries[0].key, entries[0].payload)
+                    }
+                };
+                mgr.wrap_scan(id, now, first_loc);
+                if let Some(tr) = &world.tracer {
+                    tr.record(now, crate::trace::TraceEvent::ScanWrapped { scan: id });
+                }
+            }
+            self.needs_wrap = false;
+        }
+
+        // I/O.
+        let fetch = world.fetch_extent(now, &page_ids)?;
+        self.metrics.io_wait += fetch.ready.since(now);
+        self.metrics.logical_reads += page_ids.len() as u64;
+        self.metrics.physical_reads += fetch.misses;
+
+        // CPU: evaluate the predicate, aggregate qualifiers.
+        let mut rows = 0u64;
+        match &work {
+            StepWork::AllRows => {
+                for (_, buf) in &fetch.pages {
+                    let page = HeapPage::new(buf)?;
+                    for row_bytes in page.rows() {
+                        rows += 1;
+                        let row = RowRef {
+                            bytes: row_bytes,
+                            schema: &self.schema,
+                        };
+                        if self.pred.eval(&row) {
+                            Self::accumulate(
+                                &self.agg,
+                                &mut self.count,
+                                &mut self.sums,
+                                &mut self.groups,
+                                &row,
+                            );
+                        }
+                    }
+                }
+            }
+            StepWork::Rids(rids, _) => {
+                // Evaluate exactly the indexed rows (fetch.pages is in
+                // page order; look each page up once).
+                let by_page: std::collections::HashMap<PageId, &scanshare_storage::PageBuf> =
+                    fetch.pages.iter().map(|(id, b)| (*id, b)).collect();
+                for &(pid, slot) in rids {
+                    rows += 1;
+                    let buf = by_page.get(&pid).expect("page fetched");
+                    let page = HeapPage::new(buf)?;
+                    let row = RowRef {
+                        bytes: page.row_bytes(slot)?,
+                        schema: &self.schema,
+                    };
+                    if self.pred.eval(&row) {
+                        Self::accumulate(
+                                &self.agg,
+                                &mut self.count,
+                                &mut self.sums,
+                                &mut self.groups,
+                                &row,
+                            );
+                    }
+                }
+            }
+        }
+        let pages_advanced = match (&self.plan, &work) {
+            (Plan::Table { .. }, _) => units,
+            (Plan::Index { block_pages, .. }, _) => units * *block_pages as u64,
+            (Plan::Rid { .. }, StepWork::Rids(_, distinct_pages)) => *distinct_pages,
+            (Plan::Rid { .. }, _) => unreachable!("RID plans produce RID work"),
+        };
+        let cost = self.cpu.extent_cost(page_ids.len() as u64, rows);
+        let done = world.run_cpu(fetch.ready, cost);
+        self.metrics.cpu += cost;
+
+        // Sharing-manager update: throttle wait + release priority.
+        let mut wait = SimDuration::ZERO;
+        let mut priority = PagePriority::Normal;
+        let mut grouped = false;
+        if let (Some(id), Some(mgr)) = (self.mgr_scan, world.mgr.clone()) {
+            let out = mgr.update_location(id, done, location, pages_advanced);
+            wait = out.wait;
+            priority = out.priority;
+            grouped = out.role != scanshare::Role::Singleton;
+            self.metrics.throttle_wait += wait;
+            if wait > SimDuration::ZERO {
+                if let Some(tr) = &world.tracer {
+                    tr.record(
+                        done,
+                        crate::trace::TraceEvent::Throttled {
+                            scan: id,
+                            wait,
+                            role: crate::trace::role_label(out.role).to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        world.release_pages(&fetch.pages, priority)?;
+        if let Some((ring, cap)) = &mut self.ring {
+            if grouped {
+                // Retention belongs to the manager now; forget the ring
+                // so the group's pages stay pool-managed.
+                ring.clear();
+            } else {
+                for &(id, _) in &fetch.pages {
+                    ring.push_back(id);
+                }
+                while ring.len() > *cap {
+                    let old = ring.pop_front().expect("nonempty");
+                    world.pool.discard(old);
+                }
+            }
+        }
+
+        // Advance.
+        match &mut self.plan {
+            Plan::Table { visited, .. } => *visited += units as u32,
+            Plan::Index { visited, .. } | Plan::Rid { visited, .. } => {
+                *visited += units as usize
+            }
+        }
+        if wrap_after {
+            self.needs_wrap = true;
+        }
+        if world.cfg.prefetch_extents > 0 && !self.finished() {
+            let next = self.peek_next_pages(world.cfg.extent_pages);
+            if !next.is_empty() {
+                world.prefetch(fetch.ready, &next)?;
+            }
+        }
+        Ok(Some(done + wait))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EngineConfig;
+    use scanshare_relstore::{ColType, Column, Value};
+    use scanshare_storage::{BufferPool, PoolConfig, ReplacementPolicy};
+
+    fn small_db() -> Database {
+        let mut db = Database::new(16);
+        let schema = Schema::new(vec![
+            Column::new("month", ColType::Int32),
+            Column::new("amount", ColType::Float64),
+        ]);
+        // Heap table: 4000 rows.
+        db.create_heap_table(
+            "orders",
+            schema.clone(),
+            (0..4000).map(|i| vec![Value::I32(i % 12), Value::F64(1.0)]),
+        )
+        .unwrap();
+        // Heap table with a RID index on the month column; insertion
+        // order scatters each month across every page.
+        db.create_heap_table_with_index(
+            "events",
+            schema.clone(),
+            0,
+            (0..20_000).map(|i| vec![Value::I32(i % 10), Value::F64(3.0)]),
+        )
+        .unwrap();
+        // MDC table clustered by month, interleaved inserts.
+        db.create_mdc_table(
+            "lineitem",
+            schema,
+            4,
+            (0..20_000).map(|i| ((i % 6) as i64, vec![Value::I32(i % 6), Value::F64(2.0)])),
+        )
+        .unwrap();
+        db
+    }
+
+    fn world(db: &Database) -> ExecWorld<'_> {
+        let pool = BufferPool::new(PoolConfig::new(256, ReplacementPolicy::Lru));
+        ExecWorld::new(db.store(), pool, EngineConfig::default(), None)
+    }
+
+    fn run_to_end(db: &Database, world: &mut ExecWorld<'_>, spec: &ScanSpec) -> (QueryResult, ScanMetrics) {
+        run_from(db, world, spec, SimTime::ZERO)
+    }
+
+    fn run_from(
+        db: &Database,
+        world: &mut ExecWorld<'_>,
+        spec: &ScanSpec,
+        start: SimTime,
+    ) -> (QueryResult, ScanMetrics) {
+        let mut scan = ScanExec::start(db, world, spec, start).unwrap();
+        let mut t = start;
+        while let Some(next) = scan.step(world, t).unwrap() {
+            t = next;
+        }
+        (scan.result(), scan.metrics.clone())
+    }
+
+    fn table_spec(pred: Pred) -> ScanSpec {
+        ScanSpec {
+            table: "orders".into(),
+            access: Access::FullTable,
+            pred,
+            agg: AggSpec::sums(vec![1]),
+            cpu: CpuClass::io_bound(),
+            require_order: false,
+            query_priority: Default::default(),
+            repeat: 1,
+        }
+    }
+
+    fn index_spec(lo: i64, hi: i64) -> ScanSpec {
+        ScanSpec {
+            table: "lineitem".into(),
+            access: Access::IndexRange { lo, hi },
+            pred: Pred::True,
+            agg: AggSpec::sums(vec![1]),
+            cpu: CpuClass::io_bound(),
+            require_order: false,
+            query_priority: Default::default(),
+            repeat: 1,
+        }
+    }
+
+    fn rid_spec(lo: i64, hi: i64) -> ScanSpec {
+        ScanSpec {
+            table: "events".into(),
+            access: Access::RidRange { lo, hi },
+            pred: Pred::True,
+            agg: AggSpec::sums(vec![1]),
+            cpu: CpuClass::io_bound(),
+            require_order: false,
+            query_priority: Default::default(),
+            repeat: 1,
+        }
+    }
+
+    #[test]
+    fn rid_scan_full_range_sees_every_row() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, m) = run_to_end(&db, &mut w, &rid_spec(0, 9));
+        assert_eq!(r.count, 20_000);
+        assert!((r.sums[0] - 60_000.0).abs() < 1e-6);
+        assert!(m.physical_reads > 0);
+    }
+
+    #[test]
+    fn rid_scan_range_restricts_keys() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, _) = run_to_end(&db, &mut w, &rid_spec(3, 4));
+        assert_eq!(r.count, 4_000); // 2 of 10 keys
+    }
+
+    #[test]
+    fn rid_scan_seeks_much_more_than_block_scan() {
+        // §3.2: RIDs behind a key are scattered, so a cold RID scan of
+        // one key seeks per page run, while the same rows clustered in
+        // blocks read almost sequentially.
+        let db = small_db();
+        let mut w = world(&db);
+        run_to_end(&db, &mut w, &rid_spec(0, 0));
+        let rid_seeks = w.disk.stats().seeks;
+        let rid_reads = w.disk.stats().pages_read;
+        // One month = every heap page (month i on every page of 20k rows
+        // striped by i % 10).
+        assert_eq!(rid_reads, db.table("events").unwrap().num_pages() as u64);
+        // All pages visited in ascending page order here (index payload
+        // order), so runs coalesce; the point is the full-page touch.
+        assert!(rid_seeks >= 1);
+    }
+
+    #[test]
+    fn rid_scan_on_unindexed_table_is_rejected() {
+        let db = small_db();
+        let mut w = world(&db);
+        let spec = ScanSpec {
+            table: "orders".into(),
+            ..rid_spec(0, 1)
+        };
+        let err = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, EngineError::NotClustered(_)));
+    }
+
+    #[test]
+    fn shared_rid_scans_cover_their_ranges() {
+        use scanshare::{ScanSharingManager, SharingConfig};
+        use std::sync::Arc;
+        let db = small_db();
+        let pool = BufferPool::new(PoolConfig::new(256, ReplacementPolicy::PriorityLru));
+        let mgr = Arc::new(ScanSharingManager::new(SharingConfig::new(256)));
+        let mut w = ExecWorld::new(db.store(), pool, EngineConfig::default(), Some(mgr.clone()));
+        let spec = rid_spec(0, 9);
+        let mut s1 = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap();
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t = s1.step(&mut w, t).unwrap().unwrap();
+        }
+        let mut s2 = ScanExec::start(&db, &mut w, &spec, t).unwrap();
+        let mut t2 = t;
+        while let Some(next) = s2.step(&mut w, t2).unwrap() {
+            t2 = next;
+        }
+        while let Some(next) = s1.step(&mut w, t).unwrap() {
+            t = next;
+        }
+        assert_eq!(s1.result().count, 20_000);
+        assert_eq!(s2.result().count, 20_000);
+        assert_eq!(mgr.num_active(), 0);
+    }
+
+    #[test]
+    fn prefetch_overlaps_io_and_speeds_up_a_solo_scan() {
+        let db = small_db();
+        let spec = ScanSpec {
+            // CPU-heavy so there is processing time to hide I/O under.
+            cpu: CpuClass::cpu_bound(),
+            ..index_spec(0, 5)
+        };
+        let mut w_off = world(&db);
+        let (r1, _) = run_to_end(&db, &mut w_off, &spec);
+        let off_done = w_off.disk.free_at();
+
+        let pool = BufferPool::new(PoolConfig::new(256, ReplacementPolicy::Lru));
+        let mut w_on = ExecWorld::new(
+            db.store(),
+            pool,
+            EngineConfig {
+                prefetch_extents: 1,
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        let mut scan = ScanExec::start(&db, &mut w_on, &spec, SimTime::ZERO).unwrap();
+        let mut t = SimTime::ZERO;
+        while let Some(next) = scan.step(&mut w_on, t).unwrap() {
+            t = next;
+        }
+        assert_eq!(scan.result(), r1, "same answer with prefetch");
+        assert!(
+            t < off_done.max(t) || t.as_micros() > 0,
+            "scan completes"
+        );
+        // With prefetch the scan finishes sooner than without.
+        let off_elapsed = {
+            let mut w = world(&db);
+            let mut scan = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap();
+            let mut t = SimTime::ZERO;
+            while let Some(next) = scan.step(&mut w, t).unwrap() {
+                t = next;
+            }
+            t
+        };
+        assert!(
+            t < off_elapsed,
+            "prefetch should hide I/O: {t} vs {off_elapsed}"
+        );
+        // Total physical reads are unchanged: prefetch moves reads, it
+        // does not add any.
+        assert_eq!(w_on.disk.stats().pages_read, w_off.disk.stats().pages_read);
+    }
+
+    #[test]
+    fn table_scan_sees_every_row() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, m) = run_to_end(&db, &mut w, &table_spec(Pred::True));
+        assert_eq!(r.count, 4000);
+        assert!((r.sums[0] - 4000.0).abs() < 1e-9);
+        assert!(m.physical_reads > 0);
+        assert_eq!(m.logical_reads, db.table("orders").unwrap().num_pages() as u64);
+    }
+
+    #[test]
+    fn table_scan_predicate_filters() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, _) = run_to_end(&db, &mut w, &table_spec(Pred::I32Between(0, 0, 2)));
+        // months 0..=2 out of 12 over 4000 rows; 4000 % 12 = 4, so the
+        // first four months get one extra row each.
+        assert_eq!(r.count, 1002);
+    }
+
+    #[test]
+    fn index_scan_full_range_sees_every_row() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, _) = run_to_end(&db, &mut w, &index_spec(0, 5));
+        assert_eq!(r.count, 20_000);
+        assert!((r.sums[0] - 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_scan_range_restricts_cells() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, _) = run_to_end(&db, &mut w, &index_spec(2, 3));
+        // Cells 2 and 3: 2/6 of the rows.
+        assert_eq!(r.count, 20_000 / 3);
+    }
+
+    #[test]
+    fn empty_index_range_finishes_immediately() {
+        let db = small_db();
+        let mut w = world(&db);
+        let (r, m) = run_to_end(&db, &mut w, &index_spec(40, 50));
+        assert_eq!(r.count, 0);
+        assert_eq!(m.logical_reads, 0);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let db = small_db();
+        let mut w = world(&db);
+        let spec = ScanSpec {
+            table: "nope".into(),
+            ..table_spec(Pred::True)
+        };
+        let err = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn index_scan_on_heap_table_is_rejected() {
+        let db = small_db();
+        let mut w = world(&db);
+        let spec = ScanSpec {
+            table: "orders".into(),
+            ..index_spec(0, 5)
+        };
+        let err = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, EngineError::NotClustered(_)));
+    }
+
+    #[test]
+    fn second_warm_scan_is_faster_and_reads_less() {
+        let db = small_db();
+        let mut w = world(&db);
+        // The orders table fits the 256-frame pool: a later second scan
+        // is fully warm.
+        let (_, m1) = run_to_end(&db, &mut w, &table_spec(Pred::True));
+        let (_, m2) = run_from(&db, &mut w, &table_spec(Pred::True), SimTime::from_secs(10));
+        assert!(m2.physical_reads == 0, "warm scan reads nothing");
+        assert!(m2.io_wait < m1.io_wait);
+    }
+
+    #[test]
+    fn shared_scan_starting_midway_covers_the_whole_range() {
+        use scanshare::{ScanSharingManager, SharingConfig};
+        use std::sync::Arc;
+        let db = small_db();
+        let pool = BufferPool::new(PoolConfig::new(256, ReplacementPolicy::PriorityLru));
+        let mgr = Arc::new(ScanSharingManager::new(SharingConfig::new(256)));
+        let mut w = ExecWorld::new(db.store(), pool, EngineConfig::default(), Some(mgr.clone()));
+
+        // First scan makes some progress (3 of its ~12 blocks), leaving
+        // plenty of remaining overlap for a join.
+        let spec = index_spec(0, 5);
+        let mut s1 = ScanExec::start(&db, &mut w, &spec, SimTime::ZERO).unwrap();
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t = s1.step(&mut w, t).unwrap().unwrap();
+        }
+        // Second scan joins mid-range, wraps, and still sees every row.
+        let mut s2 = ScanExec::start(&db, &mut w, &spec, t).unwrap();
+        let mut t2 = t;
+        while let Some(next) = s2.step(&mut w, t2).unwrap() {
+            t2 = next;
+        }
+        assert_eq!(s2.result().count, 20_000);
+        assert_eq!(mgr.stats().scans_joined, 1);
+        // Finish the first scan too.
+        while let Some(next) = s1.step(&mut w, t).unwrap() {
+            t = next;
+        }
+        assert_eq!(s1.result().count, 20_000);
+        assert_eq!(mgr.num_active(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Execution tracing: a structured event log of every sharing decision.
+//!
+//! Attached to a run via [`crate::workload::WorkloadSpec`]'s engine
+//! config, the trace records placements, wraps, throttle waits, and scan
+//! lifecycles with their virtual timestamps — the raw material for
+//! debugging a sharing decision ("why did scan 7 start in the middle?")
+//! and for the `adaptive_throttling`-style walkthroughs.
+
+use scanshare::{Role, ScanId, StartDecision};
+use scanshare_storage::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A scan registered with the manager.
+    ScanStarted {
+        /// Manager-assigned id.
+        scan: ScanId,
+        /// Query name.
+        query: String,
+        /// Stream index.
+        stream: usize,
+        /// Whether placement joined another scan ("join") or started at
+        /// the range beginning ("fresh").
+        placement: String,
+    },
+    /// A scan entered its second (wrap-around) phase.
+    ScanWrapped {
+        /// The wrapping scan.
+        scan: ScanId,
+    },
+    /// The manager injected a throttle wait into a leader.
+    Throttled {
+        /// The throttled scan.
+        scan: ScanId,
+        /// Injected wait.
+        wait: SimDuration,
+        /// The scan's role at that moment.
+        role: String,
+    },
+    /// A scan finished its range.
+    ScanFinished {
+        /// The finished scan.
+        scan: ScanId,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Shared, thread-safe event sink with a bounded buffer (oldest events
+/// are dropped past the cap, so long runs cannot exhaust memory).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    records: Vec<TraceRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Create a tracer retaining at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                records: Vec::new(),
+                cap: cap.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&self, at: SimTime, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        if inner.records.len() >= inner.cap {
+            inner.records.remove(0);
+            inner.dropped += 1;
+        }
+        inner.records.push(TraceRecord { at, event });
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.lock().expect("tracer lock").records.clone()
+    }
+
+    /// Events dropped due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("tracer lock").dropped
+    }
+
+    /// Human-readable rendering of the retained events.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            use std::fmt::Write;
+            let _ = match &r.event {
+                TraceEvent::ScanStarted {
+                    scan,
+                    query,
+                    stream,
+                    placement,
+                } => writeln!(
+                    out,
+                    "{} scan {:>3} start   {query} (stream {stream}, {placement})",
+                    r.at, scan.0
+                ),
+                TraceEvent::ScanWrapped { scan } => {
+                    writeln!(out, "{} scan {:>3} wrap", r.at, scan.0)
+                }
+                TraceEvent::Throttled { scan, wait, role } => writeln!(
+                    out,
+                    "{} scan {:>3} throttle {wait} ({role})",
+                    r.at, scan.0
+                ),
+                TraceEvent::ScanFinished { scan } => {
+                    writeln!(out, "{} scan {:>3} finish", r.at, scan.0)
+                }
+            };
+        }
+        out
+    }
+}
+
+/// Helper: describe a placement decision for the trace.
+pub fn placement_label(d: &StartDecision) -> String {
+    match d {
+        StartDecision::FromStart => "fresh".to_string(),
+        StartDecision::JoinAt {
+            scan: Some(s),
+            location,
+            ..
+        } => format!("join scan {} @ key {}", s.0, location.key),
+        StartDecision::JoinAt {
+            scan: None,
+            location,
+            back_up_pages,
+        } => format!(
+            "join finished @ key {} (-{} pages)",
+            location.key, back_up_pages
+        ),
+    }
+}
+
+/// Helper: describe a role for the trace.
+pub fn role_label(r: Role) -> &'static str {
+    match r {
+        Role::Leader => "leader",
+        Role::Trailer => "trailer",
+        Role::Middle => "middle",
+        Role::Singleton => "singleton",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_events() {
+        let t = Tracer::new(16);
+        t.record(
+            SimTime::from_millis(5),
+            TraceEvent::ScanStarted {
+                scan: ScanId(1),
+                query: "Q6".into(),
+                stream: 0,
+                placement: "fresh".into(),
+            },
+        );
+        t.record(
+            SimTime::from_millis(9),
+            TraceEvent::Throttled {
+                scan: ScanId(1),
+                wait: SimDuration::from_millis(3),
+                role: "leader".into(),
+            },
+        );
+        t.record(SimTime::from_millis(20), TraceEvent::ScanFinished { scan: ScanId(1) });
+        let records = t.records();
+        assert_eq!(records.len(), 3);
+        assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
+        let text = t.render();
+        assert!(text.contains("Q6"));
+        assert!(text.contains("throttle"));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn cap_drops_oldest() {
+        let t = Tracer::new(2);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_millis(i),
+                TraceEvent::ScanFinished { scan: ScanId(i) },
+            );
+        }
+        let r = t.records();
+        assert_eq!(r.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(
+            r[0].event,
+            TraceEvent::ScanFinished { scan: ScanId(3) }
+        );
+    }
+
+    #[test]
+    fn labels_describe_decisions() {
+        use scanshare::Location;
+        assert_eq!(placement_label(&StartDecision::FromStart), "fresh");
+        let j = StartDecision::JoinAt {
+            location: Location::new(7, 9),
+            scan: Some(ScanId(4)),
+            back_up_pages: 0,
+        };
+        assert_eq!(placement_label(&j), "join scan 4 @ key 7");
+        let f = StartDecision::JoinAt {
+            location: Location::new(7, 9),
+            scan: None,
+            back_up_pages: 320,
+        };
+        assert!(placement_label(&f).contains("finished"));
+        assert_eq!(role_label(Role::Leader), "leader");
+    }
+
+    #[test]
+    fn tracer_is_cheap_to_clone_and_share() {
+        let t = Tracer::new(8);
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, TraceEvent::ScanFinished { scan: ScanId(0) });
+        assert_eq!(t.records().len(), 1);
+    }
+}

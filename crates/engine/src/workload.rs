@@ -1,0 +1,577 @@
+//! Multi-stream workload execution.
+//!
+//! A workload is a set of streams, each an ordered list of queries with a
+//! start offset (the papers stagger some starts by 10 s). The driver is a
+//! discrete-event loop: at every event one stream advances its current
+//! scan by one extent. The entire run is deterministic — two runs of the
+//! same spec produce identical reports.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use scanshare::{ScanSharingManager, SharingConfig};
+use scanshare_storage::{BufferPool, PoolConfig, ReplacementPolicy, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::EngineConfig;
+use crate::db::Database;
+use crate::error::EngineResult;
+use crate::exec::ExecWorld;
+use crate::metrics::{QueryRecord, RunReport};
+use crate::query::{Query, QueryResult};
+use crate::scan_exec::{ScanExec, ScanMetrics};
+
+/// Whether a run coordinates its scans.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SharingMode {
+    /// "Vanilla DB2": no manager, plain LRU pool.
+    Base,
+    /// No manager, but a different replacement policy (e.g. LRU-2) — the
+    /// related-work baselines of the paper's §2.
+    BasePolicy(ReplacementPolicy),
+    /// The prototype: a scan-sharing manager with this configuration
+    /// (its `pool_pages` is overridden with the run's pool size), and a
+    /// priority-aware pool when `enable_priorities` is set.
+    ScanSharing(SharingConfig),
+}
+
+/// One query stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stream {
+    /// Queries, run back to back.
+    pub queries: Vec<Query>,
+    /// When the stream starts relative to the run origin.
+    pub start_offset: SimDuration,
+}
+
+/// A complete workload specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The streams to run concurrently.
+    pub streams: Vec<Stream>,
+    /// Buffer pool size in pages (the papers use ~5 % of the database).
+    pub pool_pages: usize,
+    /// Machine model.
+    pub engine: EngineConfig,
+    /// Base or scan-sharing.
+    pub mode: SharingMode,
+}
+
+/// Progress of one stream through its queries.
+struct StreamTask<'q> {
+    stream_idx: usize,
+    queries: &'q [Query],
+    qpos: usize,
+    scan_pos: usize,
+    /// Executions of the current scan so far (for `ScanSpec::repeat`).
+    rep: u32,
+    current: Option<ScanExec>,
+    qstart: SimTime,
+    qresult: QueryResult,
+    qmetrics: ScanMetrics,
+    records: Vec<QueryRecord>,
+    finish: SimTime,
+}
+
+impl<'q> StreamTask<'q> {
+    fn new(stream_idx: usize, queries: &'q [Query]) -> Self {
+        StreamTask {
+            stream_idx,
+            queries,
+            qpos: 0,
+            scan_pos: 0,
+            rep: 0,
+            current: None,
+            qstart: SimTime::ZERO,
+            qresult: QueryResult::default(),
+            qmetrics: ScanMetrics::default(),
+            records: Vec::new(),
+            finish: SimTime::ZERO,
+        }
+    }
+
+    /// Advance by one scan extent; `None` when the stream has finished.
+    fn step(
+        &mut self,
+        db: &Database,
+        world: &mut ExecWorld<'_>,
+        now: SimTime,
+    ) -> EngineResult<Option<SimTime>> {
+        loop {
+            if self.current.is_none() {
+                let Some(q) = self.queries.get(self.qpos) else {
+                    self.finish = now;
+                    return Ok(None);
+                };
+                if self.scan_pos == 0 && self.rep == 0 {
+                    self.qstart = now;
+                    self.qresult = QueryResult::default();
+                    self.qmetrics = ScanMetrics::default();
+                }
+                if self.scan_pos < q.scans.len() && self.rep >= q.scans[self.scan_pos].repeat.max(1)
+                {
+                    self.scan_pos += 1;
+                    self.rep = 0;
+                }
+                if self.scan_pos >= q.scans.len() {
+                    self.records.push(QueryRecord {
+                        name: q.name.clone(),
+                        stream: self.stream_idx,
+                        start: self.qstart,
+                        end: now,
+                        cpu: self.qmetrics.cpu,
+                        io_wait: self.qmetrics.io_wait,
+                        throttle_wait: self.qmetrics.throttle_wait,
+                        logical_reads: self.qmetrics.logical_reads,
+                        physical_reads: self.qmetrics.physical_reads,
+                        result: std::mem::take(&mut self.qresult),
+                    });
+                    self.qpos += 1;
+                    self.scan_pos = 0;
+                    self.rep = 0;
+                    continue;
+                }
+                let scan = ScanExec::start(db, world, &q.scans[self.scan_pos], now)?;
+                if let (Some(tr), Some(id)) = (&world.tracer, scan.scan_id()) {
+                    tr.record(
+                        now,
+                        crate::trace::TraceEvent::ScanStarted {
+                            scan: id,
+                            query: q.name.clone(),
+                            stream: self.stream_idx,
+                            placement: scan.placement_label().to_string(),
+                        },
+                    );
+                }
+                self.current = Some(scan);
+            }
+            let scan = self.current.as_mut().expect("just set");
+            match scan.step(world, now)? {
+                Some(next) => return Ok(Some(next)),
+                None => {
+                    let scan = self.current.take().expect("present");
+                    self.qresult.absorb(scan.result());
+                    let m = &scan.metrics;
+                    self.qmetrics.cpu += m.cpu;
+                    self.qmetrics.io_wait += m.io_wait;
+                    self.qmetrics.throttle_wait += m.throttle_wait;
+                    self.qmetrics.logical_reads += m.logical_reads;
+                    self.qmetrics.physical_reads += m.physical_reads;
+                    self.rep += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Run a workload to completion and report the measurements.
+pub fn run_workload(db: &Database, spec: &WorkloadSpec) -> EngineResult<RunReport> {
+    run_inner(db, spec, None)
+}
+
+/// Like [`run_workload`], but with a [`crate::trace::Tracer`] attached;
+/// the caller keeps the tracer handle and reads the event log afterwards.
+pub fn run_workload_traced(
+    db: &Database,
+    spec: &WorkloadSpec,
+    tracer: crate::trace::Tracer,
+) -> EngineResult<RunReport> {
+    run_inner(db, spec, Some(tracer))
+}
+
+fn run_inner(
+    db: &Database,
+    spec: &WorkloadSpec,
+    tracer: Option<crate::trace::Tracer>,
+) -> EngineResult<RunReport> {
+    let (policy, mgr) = match &spec.mode {
+        SharingMode::Base => (ReplacementPolicy::Lru, None),
+        SharingMode::BasePolicy(p) => (*p, None),
+        SharingMode::ScanSharing(cfg) => {
+            let cfg = SharingConfig {
+                pool_pages: spec.pool_pages as u64,
+                extent_pages: spec.engine.extent_pages as u64,
+                ..cfg.clone()
+            };
+            let policy = if cfg.enable_priorities {
+                ReplacementPolicy::PriorityLru
+            } else {
+                ReplacementPolicy::Lru
+            };
+            (policy, Some(Arc::new(ScanSharingManager::new(cfg))))
+        }
+    };
+    let pool = BufferPool::new(PoolConfig::new(spec.pool_pages, policy));
+    let mut world = ExecWorld::new(db.store(), pool, spec.engine.clone(), mgr.clone());
+    world.tracer = tracer;
+
+    let mut tasks: Vec<StreamTask<'_>> = spec
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StreamTask::new(i, &s.queries))
+        .collect();
+
+    // Event queue: (wake time, sequence for FIFO ties, task index).
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, s) in spec.streams.iter().enumerate() {
+        heap.push(Reverse((s.start_offset.as_micros(), seq, i)));
+        seq += 1;
+    }
+    let mut makespan = SimTime::ZERO;
+    while let Some(Reverse((t_us, _, i))) = heap.pop() {
+        let now = SimTime::from_micros(t_us);
+        match tasks[i].step(db, &mut world, now)? {
+            Some(next) => {
+                heap.push(Reverse((next.as_micros(), seq, i)));
+                seq += 1;
+            }
+            None => makespan = makespan.max(now),
+        }
+    }
+
+    let stream_elapsed: Vec<SimDuration> = tasks
+        .iter()
+        .zip(&spec.streams)
+        .map(|(t, s)| t.finish.since(SimTime::ZERO + s.start_offset))
+        .collect();
+    let mut queries: Vec<QueryRecord> = Vec::new();
+    for t in &mut tasks {
+        queries.append(&mut t.records);
+    }
+    queries.sort_by_key(|q| (q.end, q.stream));
+
+    let breakdown = world.breakdown(makespan.since(SimTime::ZERO));
+    Ok(RunReport {
+        makespan: makespan.since(SimTime::ZERO),
+        stream_elapsed,
+        queries,
+        breakdown,
+        disk: world.disk.stats(),
+        read_series: world.disk.read_series(),
+        seek_series: world.disk.seek_series(),
+        pool: world.pool.stats().clone(),
+        sharing: mgr.map(|m| m.stats()).unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CpuClass;
+    use crate::query::{Access, AggSpec, Pred, ScanSpec};
+    use scanshare_relstore::{ColType, Column, Schema, Value};
+
+    fn build_db() -> Database {
+        let mut db = Database::new(16);
+        let schema = Schema::new(vec![
+            Column::new("month", ColType::Int32),
+            Column::new("amount", ColType::Float64),
+        ]);
+        db.create_mdc_table(
+            "lineitem",
+            schema.clone(),
+            16,
+            (0..120_000).map(|i| ((i % 12) as i64, vec![Value::I32(i % 12), Value::F64(1.0)])),
+        )
+        .unwrap();
+        db.create_heap_table(
+            "orders",
+            schema,
+            (0..30_000).map(|i| vec![Value::I32(i % 12), Value::F64(0.5)]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn q6_like(name: &str, lo: i64, hi: i64) -> Query {
+        Query::single(
+            name,
+            ScanSpec {
+                table: "lineitem".into(),
+                access: Access::IndexRange { lo, hi },
+                pred: Pred::True,
+                agg: AggSpec::sums(vec![1]),
+                cpu: CpuClass::io_bound(),
+                require_order: false,
+                query_priority: Default::default(),
+                repeat: 1,
+            },
+        )
+    }
+
+    fn table_q(name: &str) -> Query {
+        Query::single(
+            name,
+            ScanSpec {
+                table: "orders".into(),
+                access: Access::FullTable,
+                pred: Pred::True,
+                agg: AggSpec::sums(vec![1]),
+                cpu: CpuClass::io_bound(),
+                require_order: false,
+                query_priority: Default::default(),
+                repeat: 1,
+            },
+        )
+    }
+
+    fn spec(db: &Database, streams: Vec<Stream>, mode: SharingMode) -> WorkloadSpec {
+        WorkloadSpec {
+            streams,
+            pool_pages: (db.total_table_pages() / 20).max(64) as usize, // 5%
+            engine: EngineConfig::default(),
+            mode,
+        }
+    }
+
+    fn three_staggered(q: &Query) -> Vec<Stream> {
+        // Close enough that the three scans overlap in time (a full
+        // lineitem index scan takes a few hundred virtual milliseconds).
+        (0..3)
+            .map(|i| Stream {
+                queries: vec![q.clone()],
+                start_offset: SimDuration::from_millis(i * 100),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn answers_are_identical_across_modes() {
+        let db = build_db();
+        let q = q6_like("Q6", 3, 8);
+        let base = run_workload(&db, &spec(&db, three_staggered(&q), SharingMode::Base)).unwrap();
+        let ss = run_workload(
+            &db,
+            &spec(
+                &db,
+                three_staggered(&q),
+                SharingMode::ScanSharing(SharingConfig::new(0)),
+            ),
+        )
+        .unwrap();
+        assert_eq!(base.queries.len(), 3);
+        assert_eq!(ss.queries.len(), 3);
+        for (b, s) in base.queries.iter().zip(&ss.queries) {
+            assert_eq!(b.result.count, s.result.count);
+            for (x, y) in b.result.sums.iter().zip(&s.result.sums) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_physical_io_for_overlapping_scans() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let base = run_workload(&db, &spec(&db, three_staggered(&q), SharingMode::Base)).unwrap();
+        let ss = run_workload(
+            &db,
+            &spec(
+                &db,
+                three_staggered(&q),
+                SharingMode::ScanSharing(SharingConfig::new(0)),
+            ),
+        )
+        .unwrap();
+        assert!(
+            ss.disk.pages_read < base.disk.pages_read,
+            "sharing must reduce physical reads: ss={} base={}",
+            ss.disk.pages_read,
+            base.disk.pages_read
+        );
+        assert!(
+            ss.makespan < base.makespan,
+            "sharing must reduce end-to-end time: ss={} base={}",
+            ss.makespan,
+            base.makespan
+        );
+        assert!(ss.sharing.scans_started == 3);
+    }
+
+    #[test]
+    fn table_scans_share_too() {
+        // A big heap table (~400 pages) against a 64-page pool, with
+        // closely staggered streams: base re-reads everything, sharing
+        // groups the scans.
+        let mut db = Database::new(16);
+        let schema = Schema::new(vec![
+            Column::new("month", ColType::Int32),
+            Column::new("amount", ColType::Float64),
+        ]);
+        db.create_heap_table(
+            "orders",
+            schema,
+            (0..200_000).map(|i| vec![Value::I32(i % 12), Value::F64(0.5)]),
+        )
+        .unwrap();
+        let q = table_q("TQ");
+        let streams: Vec<Stream> = (0..3)
+            .map(|i| Stream {
+                queries: vec![q.clone()],
+                start_offset: SimDuration::from_millis(i * 200),
+            })
+            .collect();
+        let mk = |mode| WorkloadSpec {
+            streams: streams.clone(),
+            pool_pages: 64,
+            engine: EngineConfig::default(),
+            mode,
+        };
+        let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
+        let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
+        assert!(
+            ss.disk.pages_read < base.disk.pages_read,
+            "ss={} base={}",
+            ss.disk.pages_read,
+            base.disk.pages_read
+        );
+        assert_eq!(ss.queries[0].result.count, 200_000);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let s = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let r1 = run_workload(&db, &s).unwrap();
+        let r2 = run_workload(&db, &s).unwrap();
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.disk.pages_read, r2.disk.pages_read);
+        assert_eq!(r1.disk.seeks, r2.disk.seeks);
+    }
+
+    #[test]
+    fn staggered_streams_start_at_their_offsets() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 3);
+        let streams = vec![
+            Stream {
+                queries: vec![q.clone()],
+                start_offset: SimDuration::ZERO,
+            },
+            Stream {
+                queries: vec![q.clone()],
+                start_offset: SimDuration::from_secs(10),
+            },
+        ];
+        let r = run_workload(&db, &spec(&db, streams, SharingMode::Base)).unwrap();
+        let q1 = r.queries.iter().find(|r| r.stream == 1).unwrap();
+        assert!(q1.start >= SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn multi_scan_queries_run_their_scans_sequentially() {
+        let db = build_db();
+        let q = Query {
+            name: "J".into(),
+            scans: vec![
+                table_q("x").scans[0].clone(),
+                q6_like("y", 0, 2).scans[0].clone(),
+            ],
+        };
+        let r = run_workload(
+            &db,
+            &spec(
+                &db,
+                vec![Stream {
+                    queries: vec![q],
+                    start_offset: SimDuration::ZERO,
+                }],
+                SharingMode::Base,
+            ),
+        )
+        .unwrap();
+        assert_eq!(r.queries.len(), 1);
+        // Counts from both scans are absorbed.
+        assert_eq!(r.queries[0].result.count, 30_000 + 30_000);
+        assert_eq!(r.queries[0].result.sums.len(), 2);
+    }
+
+    #[test]
+    fn repeated_inner_scans_run_n_times_and_share_leftovers() {
+        let db = build_db();
+        // A nested-loop-ish query: the inner index scan runs 4 times.
+        let mut q = q6_like("NL", 0, 5);
+        q.scans[0].repeat = 4;
+        let streams = vec![Stream {
+            queries: vec![q],
+            start_offset: SimDuration::ZERO,
+        }];
+        let mk = |mode| WorkloadSpec {
+            streams: streams.clone(),
+            pool_pages: 256,
+            engine: EngineConfig::default(),
+            mode,
+        };
+        let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
+        let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
+        // All 4 repeats' rows are aggregated.
+        assert_eq!(base.queries[0].result.count, 4 * 60_000);
+        assert_eq!(ss.queries[0].result.count, 4 * 60_000);
+        // Sharing mode re-joins the finished scan's leftovers each
+        // repeat; base (ringed) re-reads almost everything.
+        assert!(
+            ss.disk.pages_read < base.disk.pages_read,
+            "ss {} base {}",
+            ss.disk.pages_read,
+            base.disk.pages_read
+        );
+    }
+
+    #[test]
+    fn tracer_captures_sharing_decisions() {
+        use crate::trace::{TraceEvent, Tracer};
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let spec = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let tracer = Tracer::new(1024);
+        run_workload_traced(&db, &spec, tracer.clone()).unwrap();
+        let records = tracer.records();
+        let starts = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ScanStarted { .. }))
+            .count();
+        let finishes = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ScanFinished { .. }))
+            .count();
+        assert_eq!(starts, 3);
+        assert_eq!(finishes, 3);
+        // At least one scan joined another (captured in the label).
+        assert!(records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::ScanStarted { placement, .. } if placement.contains("join")
+        )));
+        // Rendering mentions the query.
+        assert!(tracer.render().contains("Q6"));
+    }
+
+    #[test]
+    fn empty_workload_is_empty_report() {
+        let db = build_db();
+        let r = run_workload(&db, &spec(&db, vec![], SharingMode::Base)).unwrap();
+        assert_eq!(r.queries.len(), 0);
+        assert_eq!(r.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn report_helpers_aggregate_per_query() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 5);
+        let r = run_workload(&db, &spec(&db, three_staggered(&q), SharingMode::Base)).unwrap();
+        assert_eq!(r.query_names(), vec!["Q6".to_string()]);
+        assert!(r.avg_query_time("Q6").unwrap() > SimDuration::ZERO);
+        assert!(r.avg_query_time("nope").is_none());
+    }
+}

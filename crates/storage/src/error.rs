@@ -1,0 +1,67 @@
+//! Error type shared across the storage layer.
+
+use std::fmt;
+
+use crate::page::{FileId, PageId};
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page was requested from a file that does not exist.
+    UnknownFile(FileId),
+    /// A page number past the end of the file was requested.
+    PageOutOfBounds { id: PageId, file_pages: u32 },
+    /// The buffer pool was asked to release or complete a page it does not
+    /// hold.
+    NotResident(PageId),
+    /// A fix was requested while every frame in the pool is pinned.
+    PoolExhausted { capacity: usize },
+    /// A page was fixed twice without an intervening release, or released
+    /// while not fixed.
+    PinViolation(PageId),
+    /// A record or structure did not fit in a page.
+    PageOverflow { needed: usize, available: usize },
+    /// Data on a page failed validation while decoding.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownFile(id) => write!(f, "unknown file {}", id.0),
+            StorageError::PageOutOfBounds { id, file_pages } => {
+                write!(f, "page {id} out of bounds (file has {file_pages} pages)")
+            }
+            StorageError::NotResident(id) => write!(f, "page {id} is not resident in the pool"),
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            StorageError::PinViolation(id) => write!(f, "pin/unpin violation on page {id}"),
+            StorageError::PageOverflow { needed, available } => {
+                write!(f, "page overflow: needed {needed} bytes, {available} available")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        let e = StorageError::PageOutOfBounds {
+            id: PageId::new(FileId(1), 7),
+            file_pages: 4,
+        };
+        assert_eq!(e.to_string(), "page 1:7 out of bounds (file has 4 pages)");
+        let e = StorageError::PoolExhausted { capacity: 8 };
+        assert!(e.to_string().contains("all 8 frames pinned"));
+    }
+}

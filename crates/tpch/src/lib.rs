@@ -1,0 +1,29 @@
+//! TPC-H-shaped data and workload for the `scanshare` experiments.
+//!
+//! The papers evaluate on a 100 GB TPC-H database with a buffer pool of
+//! about 5 % of the database size, running the 22-query throughput
+//! workload in 5 streams; per stream the queries contain 18 block index
+//! scans and 29 table scans. This crate reproduces that *shape* at
+//! laptop scale:
+//!
+//! * [`gen`] — a seeded generator for four tables: `lineitem`
+//!   (MDC-clustered on ship month, the target of block index scans),
+//!   plus heap tables `orders`, `part`, and `customer` (the targets of
+//!   table scans),
+//! * [`queries`] — TPC-H Q1 (CPU-bound full scan) and Q6 (I/O-bound
+//!   one-year index scan) modeled faithfully, plus 20 parameterized
+//!   templates chosen so each stream issues exactly 18 block index scans
+//!   and 29 table scans,
+//! * [`workload`] — builders for the paper's experiments: staggered
+//!   single-query runs (Figures 15/16) and N-stream throughput runs
+//!   (Table 1, Figures 17–20).
+//!
+//! Everything is deterministic given the seed.
+
+pub mod gen;
+pub mod queries;
+pub mod workload;
+
+pub use gen::{generate, TpchConfig};
+pub use queries::{q1, q6, stream_queries, QUERY_NAMES};
+pub use workload::{staggered_workload, throughput_workload};

@@ -1,0 +1,397 @@
+//! The 22-query workload.
+//!
+//! Q1 and Q6 are modeled on their TPC-H namesakes:
+//!
+//! * **Q1** — full scan of `lineitem` with heavy per-row aggregation:
+//!   CPU-intensive, the workload of the paper's Figure 16,
+//! * **Q6** — block index scan of one year of `lineitem` with a cheap
+//!   predicate: I/O-intensive, the workload of Figure 15.
+//!
+//! The other twenty templates are parameterized mixes of heap table
+//! scans (over `orders`, `part`, `customer`) and block index scans over
+//! recent `lineitem` months — per stream they add up to exactly the scan
+//! mix the paper reports for its throughput run: **18 block index scans
+//! and 29 table scans** across the 22 queries. Q21 carries two large
+//! overlapping index scans, mirroring the paper's observation that Q21
+//! benefits most from sharing.
+//!
+//! Month windows are drawn per stream from the most recent two years —
+//! the warehouse-hotspot access pattern of the papers' introduction.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use scanshare_engine::{Access, AggSpec, CpuClass, Pred, Query, ScanSpec};
+
+use crate::gen::lineitem_cols as li;
+
+/// The query names, in template order.
+pub const QUERY_NAMES: [&str; 22] = [
+    "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12", "Q13", "Q14",
+    "Q15", "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
+];
+
+fn li_index(lo: i64, hi: i64, cpu: CpuClass, pred: Pred) -> ScanSpec {
+    ScanSpec {
+        table: "lineitem".into(),
+        access: Access::IndexRange { lo, hi },
+        pred,
+        agg: AggSpec::sums(vec![li::EXTENDEDPRICE, li::DISCOUNT]),
+        cpu,
+        require_order: false,
+        query_priority: Default::default(),
+        repeat: 1,
+    }
+}
+
+fn li_full(cpu: CpuClass) -> ScanSpec {
+    ScanSpec {
+        table: "lineitem".into(),
+        access: Access::FullTable,
+        pred: Pred::True,
+        // Q1's pricing-summary aggregation: sums per (returnflag,
+        // linestatus) group.
+        agg: AggSpec::grouped_sums(
+            vec![li::QUANTITY, li::EXTENDEDPRICE, li::DISCOUNT, li::TAX],
+            vec![li::RETURNFLAG, li::LINESTATUS],
+        ),
+        cpu,
+        require_order: false,
+        query_priority: Default::default(),
+        repeat: 1,
+    }
+}
+
+fn heap(table: &str, sum_col: usize, cpu: CpuClass) -> ScanSpec {
+    ScanSpec {
+        table: table.into(),
+        access: Access::FullTable,
+        pred: Pred::True,
+        agg: AggSpec::sums(vec![sum_col]),
+        cpu,
+        require_order: false,
+        query_priority: Default::default(),
+        repeat: 1,
+    }
+}
+
+/// A window of `span` months ending somewhere in the most recent year.
+fn recent_window(rng: &mut StdRng, months: i64, span: i64) -> (i64, i64) {
+    let last = months - 1;
+    let hi = (last - rng.random_range(0..12.min(months))).max(0);
+    let lo = (hi - span + 1).max(0);
+    (lo, hi)
+}
+
+/// TPC-H Q1: CPU-bound full scan of `lineitem`.
+pub fn q1() -> Query {
+    Query::single("Q1", li_full(CpuClass::cpu_bound()))
+}
+
+/// TPC-H Q6: I/O-bound block index scan over one recent year of
+/// `lineitem` with the classic quantity/discount filter.
+pub fn q6(months: i64, seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = recent_window(&mut rng, months, 12);
+    Query::single(
+        "Q6",
+        li_index(
+            lo,
+            hi,
+            CpuClass::io_bound(),
+            Pred::And(
+                Box::new(Pred::F64LessThan(li::QUANTITY, 24.0)),
+                Box::new(Pred::F64LessThan(li::DISCOUNT, 0.07)),
+            ),
+        ),
+    )
+}
+
+/// Build the 22 query instances for one stream (unpermuted, in template
+/// order). `months` is the number of history months in the database.
+pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
+    use crate::gen::{customer_cols as cc, orders_cols as oc, part_cols as pc};
+    let io = CpuClass::io_bound;
+    let bal = CpuClass::balanced;
+    let cpu = CpuClass::cpu_bound;
+    let mut w = |span| recent_window(rng, months, span);
+
+    let specs: Vec<(&str, Vec<ScanSpec>)> = vec![
+        ("Q1", vec![li_full(cpu())]),
+        ("Q2", {
+            let (lo, hi) = w(3);
+            vec![
+                heap("part", pc::RETAILPRICE, bal()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q3", {
+            let (lo, hi) = w(3);
+            vec![
+                heap("customer", cc::ACCTBAL, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q4", {
+            let (lo, hi) = w(3);
+            vec![
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q5", {
+            let (lo, hi) = w(12);
+            vec![
+                heap("customer", cc::ACCTBAL, io()),
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, bal(), Pred::True),
+            ]
+        }),
+        ("Q6", {
+            let (lo, hi) = w(12);
+            vec![li_index(
+                lo,
+                hi,
+                io(),
+                Pred::And(
+                    Box::new(Pred::F64LessThan(li::QUANTITY, 24.0)),
+                    Box::new(Pred::F64LessThan(li::DISCOUNT, 0.07)),
+                ),
+            )]
+        }),
+        ("Q7", {
+            let (lo, hi) = w(24);
+            vec![
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q8", {
+            let (lo, hi) = w(24);
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                heap("customer", cc::ACCTBAL, io()),
+                li_index(lo, hi, bal(), Pred::True),
+            ]
+        }),
+        ("Q9", vec![heap("part", pc::RETAILPRICE, io()), li_full(cpu())]),
+        ("Q10", {
+            let (lo, hi) = w(3);
+            vec![
+                heap("orders", oc::TOTALPRICE, io()),
+                heap("customer", cc::ACCTBAL, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q11", vec![
+            heap("part", pc::RETAILPRICE, bal()),
+            heap("customer", cc::ACCTBAL, io()),
+        ]),
+        ("Q12", {
+            let (lo, hi) = w(12);
+            vec![
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q13", {
+            let (lo, hi) = w(6);
+            vec![
+                heap("customer", cc::ACCTBAL, bal()),
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q14", {
+            let (lo, hi) = w(1);
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q15", {
+            let (lo, hi) = w(3);
+            vec![li_index(lo, hi, io(), Pred::True)]
+        }),
+        ("Q16", vec![
+            heap("part", pc::RETAILPRICE, io()),
+            heap("customer", cc::ACCTBAL, io()),
+        ]),
+        ("Q17", {
+            let (lo, hi) = w(6);
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q18", vec![
+            heap("orders", oc::TOTALPRICE, io()),
+            li_full(cpu()),
+        ]),
+        ("Q19", {
+            let (lo, hi) = w(2);
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q20", {
+            let (lo, hi) = w(6);
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+        ("Q21", {
+            let (lo1, hi1) = w(24);
+            let (lo2, hi2) = w(24);
+            vec![
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo1, hi1, io(), Pred::True),
+                li_index(lo2, hi2, io(), Pred::True),
+            ]
+        }),
+        ("Q22", {
+            let (lo, hi) = w(12);
+            vec![
+                heap("customer", cc::ACCTBAL, io()),
+                heap("orders", oc::TOTALPRICE, io()),
+                li_index(lo, hi, io(), Pred::True),
+            ]
+        }),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, scans)| Query {
+            name: name.into(),
+            scans,
+        })
+        .collect()
+}
+
+/// The query list for one stream of a throughput run: the 22 templates
+/// instantiated with stream-specific parameters, in a stream-specific
+/// permutation (TPC-H prescribes a different query order per stream so
+/// "different queries overlap at different points in time").
+pub fn stream_queries(stream: usize, months: i64, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (stream as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut queries = query_set(months, &mut rng);
+    queries.shuffle(&mut rng);
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_engine::Access;
+
+    fn scan_mix(queries: &[Query]) -> (usize, usize) {
+        let mut table = 0;
+        let mut index = 0;
+        for q in queries {
+            for s in &q.scans {
+                match s.access {
+                    Access::FullTable => table += 1,
+                    Access::IndexRange { .. } | Access::RidRange { .. } => index += 1,
+                }
+            }
+        }
+        (table, index)
+    }
+
+    /// The paper: "In the 22 queries, there are 18 block index scans and
+    /// 29 table scans."
+    #[test]
+    fn scan_mix_matches_the_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries = query_set(84, &mut rng);
+        assert_eq!(queries.len(), 22);
+        let (table, index) = scan_mix(&queries);
+        assert_eq!(index, 18, "block index scans");
+        assert_eq!(table, 29, "table scans");
+    }
+
+    #[test]
+    fn stream_queries_preserve_the_mix_and_are_permuted() {
+        let a = stream_queries(0, 84, 9);
+        let b = stream_queries(1, 84, 9);
+        assert_eq!(scan_mix(&a), (29, 18));
+        assert_eq!(scan_mix(&b), (29, 18));
+        let names_a: Vec<&str> = a.iter().map(|q| q.name.as_str()).collect();
+        let names_b: Vec<&str> = b.iter().map(|q| q.name.as_str()).collect();
+        assert_ne!(names_a, names_b, "streams should be permuted differently");
+        let mut sorted = names_a.clone();
+        sorted.sort();
+        let mut expected: Vec<&str> = QUERY_NAMES.to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn stream_queries_are_deterministic() {
+        let a = stream_queries(3, 84, 9);
+        let b = stream_queries(3, 84, 9);
+        let names: Vec<_> = a.iter().map(|q| &q.name).collect();
+        let names_b: Vec<_> = b.iter().map(|q| &q.name).collect();
+        assert_eq!(names, names_b);
+    }
+
+    #[test]
+    fn windows_stay_in_range() {
+        for stream in 0..8 {
+            for q in stream_queries(stream, 24, 5) {
+                for s in &q.scans {
+                    if let Access::IndexRange { lo, hi } = s.access {
+                        assert!(0 <= lo && lo <= hi && hi < 24, "window {lo}..{hi}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q6_targets_a_recent_year() {
+        let q = q6(84, 3);
+        let Access::IndexRange { lo, hi } = q.scans[0].access else {
+            panic!("Q6 must be an index scan");
+        };
+        assert!(hi >= 72, "Q6 window should be recent, got {lo}..{hi}");
+        assert_eq!(hi - lo, 11);
+    }
+
+    #[test]
+    fn q1_is_a_cpu_bound_grouped_table_scan() {
+        let q = q1();
+        assert_eq!(q.scans.len(), 1);
+        assert!(matches!(q.scans[0].access, Access::FullTable));
+        assert_eq!(q.scans[0].cpu, scanshare_engine::CpuClass::cpu_bound());
+        assert_eq!(q.scans[0].agg.group_by.len(), 2);
+    }
+
+    #[test]
+    fn q1_produces_the_six_pricing_summary_groups() {
+        use crate::gen::{generate, TpchConfig};
+        use scanshare_engine::{run_workload, SharingMode};
+        let cfg = TpchConfig::tiny();
+        let db = generate(&cfg);
+        let w = crate::workload::staggered_workload(
+            &db,
+            &q1(),
+            1,
+            scanshare_storage::SimDuration::ZERO,
+            SharingMode::Base,
+        );
+        let r = run_workload(&db, &w).unwrap();
+        let groups = &r.queries[0].result.groups;
+        // 3 return flags x 2 line statuses.
+        assert_eq!(groups.len(), 6);
+        let total: u64 = groups.iter().map(|g| g.1.count).sum();
+        assert_eq!(total, cfg.lineitem_rows());
+        // Group sums add up to the global sums.
+        for i in 0..4 {
+            let global = r.queries[0].result.sums[i];
+            let by_group: f64 = groups.iter().map(|g| g.1.sums[i]).sum();
+            assert!((global - by_group).abs() < 1e-6 * global.abs().max(1.0));
+        }
+    }
+}

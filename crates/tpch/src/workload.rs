@@ -1,0 +1,134 @@
+//! Workload builders for the paper's experiment setups.
+
+use scanshare_engine::{Database, EngineConfig, Query, SharingMode, Stream, WorkloadSpec};
+use scanshare_storage::SimDuration;
+
+use crate::queries::stream_queries;
+
+/// Pool size at the paper's ratio: "The bufferpool size is about 5% of
+/// the database size."
+pub fn paper_pool_pages(db: &Database) -> usize {
+    ((db.total_table_pages() as f64 * 0.05) as usize).max(64)
+}
+
+/// N copies of one query, started `stagger` apart — the setup of the
+/// staggered Q1/Q6 experiments (Figures 15/16, 10 s stagger).
+pub fn staggered_workload(
+    db: &Database,
+    query: &Query,
+    copies: usize,
+    stagger: SimDuration,
+    mode: SharingMode,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        streams: (0..copies)
+            .map(|i| Stream {
+                queries: vec![query.clone()],
+                start_offset: SimDuration::from_micros(stagger.as_micros() * i as u64),
+            })
+            .collect(),
+        pool_pages: paper_pool_pages(db),
+        engine: EngineConfig::default(),
+        mode,
+    }
+}
+
+/// An N-stream TPC-H throughput run: every stream runs all 22 queries in
+/// its own permutation with its own parameters, all starting together
+/// (the paper's Table 1 / Figures 17–20 setup with N = 5).
+pub fn throughput_workload(
+    db: &Database,
+    n_streams: usize,
+    months: i64,
+    seed: u64,
+    mode: SharingMode,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        streams: (0..n_streams)
+            .map(|i| Stream {
+                queries: stream_queries(i, months, seed),
+                start_offset: SimDuration::ZERO,
+            })
+            .collect(),
+        pool_pages: paper_pool_pages(db),
+        engine: EngineConfig::default(),
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchConfig};
+    use crate::queries::q6;
+    use scanshare::SharingConfig;
+    use scanshare_engine::run_workload;
+
+    #[test]
+    fn staggered_q6_runs_and_shares() {
+        let cfg = TpchConfig::tiny();
+        let db = generate(&cfg);
+        let q = q6(cfg.months as i64, 1);
+        // A tiny Q6 runs for ~200 virtual ms; 50 ms staggers keep the
+        // three scans overlapping, like the paper's setup.
+        let base = staggered_workload(
+            &db,
+            &q,
+            3,
+            SimDuration::from_millis(50),
+            SharingMode::Base,
+        );
+        let ss = staggered_workload(
+            &db,
+            &q,
+            3,
+            SimDuration::from_millis(50),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let rb = run_workload(&db, &base).unwrap();
+        let rs = run_workload(&db, &ss).unwrap();
+        assert_eq!(rb.queries.len(), 3);
+        // Identical answers.
+        for (a, b) in rb.queries.iter().zip(&rs.queries) {
+            assert_eq!(a.result.count, b.result.count);
+        }
+        assert!(rs.disk.pages_read <= rb.disk.pages_read);
+    }
+
+    #[test]
+    fn tiny_throughput_run_completes_in_both_modes() {
+        let cfg = TpchConfig::tiny();
+        let db = generate(&cfg);
+        let months = cfg.months as i64;
+        let base = throughput_workload(&db, 2, months, 11, SharingMode::Base);
+        let ss = throughput_workload(
+            &db,
+            2,
+            months,
+            11,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let rb = run_workload(&db, &base).unwrap();
+        let rs = run_workload(&db, &ss).unwrap();
+        assert_eq!(rb.queries.len(), 44);
+        assert_eq!(rs.queries.len(), 44);
+        // Per-query answers match between modes (sort by stream+name).
+        let key = |q: &scanshare_engine::QueryRecord| (q.stream, q.name.clone());
+        let mut qb = rb.queries.clone();
+        let mut qs = rs.queries.clone();
+        qb.sort_by_key(key);
+        qs.sort_by_key(key);
+        for (a, b) in qb.iter().zip(&qs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.result.count, b.result.count, "query {}", a.name);
+        }
+    }
+
+    #[test]
+    fn pool_is_five_percent() {
+        let db = generate(&TpchConfig::tiny());
+        let pool = paper_pool_pages(&db);
+        let five_pct = (db.total_table_pages() as f64 * 0.05) as usize;
+        assert_eq!(pool, five_pct.max(64));
+    }
+}

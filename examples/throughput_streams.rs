@@ -1,0 +1,92 @@
+//! A miniature TPC-H throughput run: N concurrent streams of the full
+//! 22-query mix, base vs scan-sharing — the setup behind the paper's
+//! Table 1.
+//!
+//! ```sh
+//! cargo run --release --example throughput_streams          # 3 streams
+//! cargo run --release --example throughput_streams -- 5     # 5 streams
+//! ```
+
+use scanshare_repro::core::SharingConfig;
+use scanshare_repro::engine::{run_workload, SharingMode};
+use scanshare_repro::tpch::{generate, throughput_workload, TpchConfig};
+
+fn main() {
+    let n_streams: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let cfg = TpchConfig {
+        scale: 0.5,
+        ..TpchConfig::default()
+    };
+    println!("generating database (scale {}) ...", cfg.scale);
+    let db = generate(&cfg);
+    let months = cfg.months as i64;
+
+    println!("running {n_streams}-stream throughput, base ...");
+    let base = run_workload(
+        &db,
+        &throughput_workload(&db, n_streams, months, cfg.seed, SharingMode::Base),
+    )
+    .expect("base");
+    println!("running {n_streams}-stream throughput, scan-sharing ...");
+    let ss = run_workload(
+        &db,
+        &throughput_workload(
+            &db,
+            n_streams,
+            months,
+            cfg.seed,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        ),
+    )
+    .expect("ss");
+
+    let gain = |b: f64, s: f64| (1.0 - s / b) * 100.0;
+    println!("\n{:<22} {:>12} {:>14} {:>8}", "metric", "base", "scan-sharing", "gain");
+    println!(
+        "{:<22} {:>11.1}s {:>13.1}s {:>7.1}%",
+        "end-to-end",
+        base.makespan.as_secs_f64(),
+        ss.makespan.as_secs_f64(),
+        gain(base.makespan.as_secs_f64(), ss.makespan.as_secs_f64())
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>7.1}%",
+        "pages read",
+        base.disk.pages_read,
+        ss.disk.pages_read,
+        gain(base.disk.pages_read as f64, ss.disk.pages_read as f64)
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>7.1}%",
+        "disk seeks",
+        base.disk.seeks,
+        ss.disk.seeks,
+        gain(base.disk.seeks as f64, ss.disk.seeks as f64)
+    );
+    println!(
+        "{:<22} {:>11.1}% {:>13.1}%",
+        "pool hit ratio",
+        base.pool.hit_ratio() * 100.0,
+        ss.pool.hit_ratio() * 100.0
+    );
+
+    println!("\nper-stream elapsed:");
+    for i in 0..n_streams {
+        let b = base.stream_elapsed[i].as_secs_f64();
+        let s = ss.stream_elapsed[i].as_secs_f64();
+        println!(
+            "  stream {i}: {b:>7.1}s -> {s:>6.1}s ({:+.1}%)",
+            -gain(b, s)
+        );
+    }
+    println!(
+        "\nsharing: {} joins / {} fresh starts / {} throttle waits ({:.2}s total wait)",
+        ss.sharing.scans_joined + ss.sharing.scans_joined_finished,
+        ss.sharing.scans_from_start,
+        ss.sharing.waits_injected,
+        ss.sharing.total_wait.as_secs_f64()
+    );
+}

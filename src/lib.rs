@@ -1,0 +1,52 @@
+//! `scanshare-repro` — top-level facade of the reproduction of
+//! *"Increasing Buffer-Locality for Multiple Relational Table Scans
+//! through Grouping and Throttling"* (ICDE 2007) and its VLDB 2007
+//! index-scan companion.
+//!
+//! The workspace splits into layers (see `DESIGN.md`):
+//!
+//! * [`storage`] — virtual clock, seek-accounting disk model, buffer pool
+//!   with priority-aware replacement,
+//! * [`relstore`] — tuples, slotted heap files, a paged B+ tree, and
+//!   MDC-style block-clustered tables,
+//! * [`core`] — **the paper**: the scan-sharing manager (grouping,
+//!   leader/trailer throttling, page re-prioritization, placement),
+//! * [`engine`] — a deterministic discrete-event executor running
+//!   multi-stream scan workloads with and without sharing,
+//! * [`tpch`] — the TPC-H-shaped data generator and 22-query workload.
+//!
+//! ```
+//! use scanshare_repro::tpch::{generate, q6, staggered_workload, TpchConfig};
+//! use scanshare_repro::engine::{run_workload, SharingMode};
+//! use scanshare_repro::core::SharingConfig;
+//! use scanshare_repro::storage::SimDuration;
+//!
+//! // Small database, three overlapping Q6 queries.
+//! let cfg = TpchConfig::tiny();
+//! let db = generate(&cfg);
+//! let q = q6(cfg.months as i64, 1);
+//! let stagger = SimDuration::from_millis(50);
+//!
+//! let base = staggered_workload(&db, &q, 3, stagger, SharingMode::Base);
+//! let ss = staggered_workload(
+//!     &db, &q, 3, stagger,
+//!     SharingMode::ScanSharing(SharingConfig::new(0)),
+//! );
+//! let rb = run_workload(&db, &base).unwrap();
+//! let rs = run_workload(&db, &ss).unwrap();
+//!
+//! // Sharing never reads more and computes the same answers.
+//! assert!(rs.disk.pages_read <= rb.disk.pages_read);
+//! assert_eq!(rb.queries[0].result.count, rs.queries[0].result.count);
+//! ```
+
+/// The scan-sharing manager (the paper's contribution).
+pub use scanshare as core;
+/// The discrete-event query executor.
+pub use scanshare_engine as engine;
+/// Relational storage: heap files, B+ tree, MDC tables.
+pub use scanshare_relstore as relstore;
+/// Storage substrate: clock, disk model, buffer pool.
+pub use scanshare_storage as storage;
+/// TPC-H-shaped data and workload.
+pub use scanshare_tpch as tpch;

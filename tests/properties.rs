@@ -1,0 +1,225 @@
+//! Property-based tests over the public API: randomized workloads and
+//! data structures must uphold the system's core invariants.
+
+use proptest::prelude::*;
+use scanshare_repro::core::SharingConfig;
+use scanshare_repro::engine::{
+    run_workload, Access, AggSpec, CpuClass, Database, EngineConfig, Pred, Query, ScanSpec,
+    SharingMode, Stream, WorkloadSpec,
+};
+use scanshare_repro::relstore::{BTree, ColType, Column, Entry, Schema, Value};
+use scanshare_repro::storage::{
+    BufferPool, FileStore, FixOutcome, PagePriority, PoolConfig, ReplacementPolicy, SimDuration,
+};
+
+/// Build a small MDC database with `cells` clustering cells.
+fn small_db(cells: i64, rows: u64) -> Database {
+    let mut db = Database::new(8);
+    let schema = Schema::new(vec![
+        Column::new("cell", ColType::Int32),
+        Column::new("v", ColType::Float64),
+    ]);
+    db.create_mdc_table(
+        "t",
+        schema,
+        4,
+        (0..rows).map(move |i| {
+            let c = (i as i64 * 7919) % cells;
+            (c, vec![Value::I32(c as i32), Value::F64(1.0)])
+        }),
+    )
+    .unwrap();
+    db
+}
+
+fn index_query(name: &str, lo: i64, hi: i64) -> Query {
+    Query::single(
+        name,
+        ScanSpec {
+            table: "t".into(),
+            access: Access::IndexRange { lo, hi },
+            pred: Pred::True,
+            agg: AggSpec::sums(vec![1]),
+            cpu: CpuClass::io_bound(),
+            require_order: false,
+            query_priority: Default::default(),
+            repeat: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any mix of overlapping index scans, scan-sharing computes the
+    /// same answers as the baseline and never does more physical I/O.
+    #[test]
+    fn sharing_is_answer_preserving_and_io_monotone(
+        ranges in proptest::collection::vec((0i64..12, 0i64..12), 2..6),
+        offsets_ms in proptest::collection::vec(0u64..400, 2..6),
+    ) {
+        let db = small_db(12, 30_000);
+        let streams: Vec<Stream> = ranges
+            .iter()
+            .zip(&offsets_ms)
+            .enumerate()
+            .map(|(i, (&(a, b), &off))| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                Stream {
+                    queries: vec![index_query(&format!("q{i}"), lo, hi)],
+                    start_offset: SimDuration::from_millis(off),
+                }
+            })
+            .collect();
+        let spec = |mode| WorkloadSpec {
+            streams: streams.clone(),
+            pool_pages: 64,
+            engine: EngineConfig::default(),
+            mode,
+        };
+        let base = run_workload(&db, &spec(SharingMode::Base)).unwrap();
+        let ss = run_workload(
+            &db,
+            &spec(SharingMode::ScanSharing(SharingConfig::new(0))),
+        )
+        .unwrap();
+        // Answers identical.
+        let mut qb = base.queries.clone();
+        let mut qs = ss.queries.clone();
+        qb.sort_by_key(|q| q.name.clone());
+        qs.sort_by_key(|q| q.name.clone());
+        for (b, s) in qb.iter().zip(&qs) {
+            prop_assert_eq!(b.result.count, s.result.count);
+        }
+        // Sharing reads at most what base reads, plus a small margin for
+        // wrap-phase effects on tiny scans.
+        prop_assert!(
+            ss.disk.pages_read as f64 <= base.disk.pages_read as f64 * 1.05 + 64.0,
+            "ss {} base {}", ss.disk.pages_read, base.disk.pages_read
+        );
+    }
+
+    /// The B+ tree agrees with a sorted-vector model for any entry set.
+    #[test]
+    fn btree_matches_model(
+        keys in proptest::collection::vec((-50i64..50, 0u64..1000), 0..400),
+        probes in proptest::collection::vec((-60i64..60, -60i64..60), 0..20),
+    ) {
+        let mut store = FileStore::new(16);
+        let mut tree = BTree::create(&mut store).unwrap();
+        let mut model: Vec<Entry> = Vec::new();
+        for &(k, p) in &keys {
+            let e = Entry::new(k, p);
+            tree.insert(&mut store, e).unwrap();
+            let pos = model.partition_point(|m| *m <= e);
+            model.insert(pos, e);
+        }
+        prop_assert_eq!(tree.all(&store).unwrap(), model.clone());
+        for &(a, b) in &probes {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let expect: Vec<Entry> = model
+                .iter()
+                .filter(|e| lo <= e.key && e.key <= hi)
+                .copied()
+                .collect();
+            prop_assert_eq!(tree.range(&store, lo, hi).unwrap(), expect);
+        }
+    }
+
+    /// The buffer pool never exceeds capacity, and under PriorityLru a
+    /// higher-priority page never gets evicted while a lower-priority
+    /// unpinned page is resident.
+    #[test]
+    fn pool_respects_capacity_and_priorities(
+        ops in proptest::collection::vec((0u32..64, 0u8..3), 1..500),
+        cap in 2usize..16,
+    ) {
+        use scanshare_repro::storage::{FileId, PageId};
+        let mut pool = BufferPool::new(PoolConfig::new(cap, ReplacementPolicy::PriorityLru));
+        let buf = scanshare_repro::storage::page::zeroed_page().freeze();
+        for &(p, prio) in &ops {
+            let id = PageId::new(FileId(0), p);
+            let priority = match prio {
+                0 => PagePriority::Low,
+                1 => PagePriority::Normal,
+                _ => PagePriority::High,
+            };
+            match pool.fix(id) {
+                FixOutcome::Hit(_) => {}
+                FixOutcome::Miss => pool.complete_miss(id, buf.clone()).unwrap(),
+            }
+            pool.release(id, priority).unwrap();
+            prop_assert!(pool.len() <= cap);
+        }
+        prop_assert!(pool.stats().logical_reads == ops.len() as u64);
+    }
+
+    /// Grouping never exceeds the pool budget and leaders are ahead of
+    /// trailers.
+    #[test]
+    fn grouping_invariants(
+        offsets in proptest::collection::vec(0i64..10_000, 1..24),
+        pool in 1u64..5_000,
+    ) {
+        use scanshare_repro::core::grouping::find_leaders_trailers;
+        use scanshare_repro::core::anchor::AnchorId;
+        use scanshare_repro::core::ScanId;
+        let scans: Vec<(ScanId, AnchorId, i64)> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (ScanId(i as u64), AnchorId((i % 3) as u64), o))
+            .collect();
+        let groups = find_leaders_trailers(&scans, pool);
+        prop_assert!(groups.total_extent() < pool.max(1));
+        let mut seen = 0;
+        for g in &groups.groups {
+            seen += g.members.len();
+            // Members sorted by offset: leader last, trailer first.
+            let offs: Vec<i64> = g
+                .members
+                .iter()
+                .map(|m| scans.iter().find(|s| s.0 == *m).unwrap().2)
+                .collect();
+            for w in offs.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert_eq!(
+                g.extent,
+                (offs[offs.len() - 1] - offs[0]) as u64
+            );
+        }
+        prop_assert_eq!(seen, scans.len());
+    }
+
+    /// Placement always returns a start inside the feasible range and
+    /// never estimates more reads than the no-sharing baseline.
+    #[test]
+    fn placement_bounds(
+        members in proptest::collection::vec(
+            (0.0f64..5_000.0, 10.0f64..500.0, 1.0f64..5_000.0),
+            1..8
+        ),
+        cand_speed in 10.0f64..500.0,
+        cand_pages in 100.0f64..5_000.0,
+        pool in 16.0f64..1_000.0,
+    ) {
+        use scanshare_repro::core::placement::{best_start_practical, calculate_reads, Trace};
+        let traces: Vec<Trace> = members
+            .iter()
+            .map(|&(p, v, len)| Trace::new(p, v, p + len))
+            .collect();
+        if let Some(c) = best_start_practical(&traces, cand_speed, cand_pages, pool) {
+            prop_assert!(traces.iter().any(|t| (t.pos0 - c.start).abs() < 1e-9));
+            prop_assert!(c.estimate.reads <= c.estimate.baseline + 1e-6);
+            prop_assert!(c.estimate.savings_per_page() > 0.0);
+        }
+        // calculate_reads is always within [0, baseline].
+        let est = calculate_reads(
+            &traces,
+            Trace::new(0.0, cand_speed, cand_pages),
+            pool,
+        );
+        prop_assert!(est.reads >= 0.0);
+        prop_assert!(est.reads <= est.baseline + 1e-6);
+    }
+}
