@@ -1,7 +1,7 @@
 //! B+ tree build, lookup and range-scan throughput — the substrate the
 //! block index scans traverse.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare_bench::micro::bench;
 use scanshare_relstore::{BTree, Entry};
 use scanshare_storage::FileStore;
 use std::hint::black_box;
@@ -10,49 +10,33 @@ fn sorted_entries(n: usize) -> Vec<Entry> {
     (0..n as i64).map(|k| Entry::new(k / 8, k as u64)).collect()
 }
 
-fn bench_bulk_load(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree_bulk_load");
-    g.sample_size(20);
+fn main() {
     for &n in &[1_000usize, 10_000, 100_000] {
         let entries = sorted_entries(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &entries, |b, entries| {
-            b.iter(|| {
-                let mut store = FileStore::new(16);
-                black_box(BTree::bulk_load(&mut store, entries).unwrap())
-            })
+        bench(&format!("btree_bulk_load/{n}"), || {
+            let mut store = FileStore::new(16);
+            black_box(BTree::bulk_load(&mut store, &entries).unwrap());
         });
     }
-    g.finish();
-}
 
-fn bench_insert(c: &mut Criterion) {
-    c.bench_function("btree_insert_scrambled", |b| {
+    {
         let mut store = FileStore::new(16);
         let mut tree = BTree::create(&mut store).unwrap();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("btree_insert_scrambled", || {
             i += 1;
             let k = ((i * 2654435761) % 1_000_000) as i64;
             tree.insert(&mut store, Entry::new(k, i)).unwrap();
-        })
-    });
-}
-
-fn bench_range(c: &mut Criterion) {
-    let mut store = FileStore::new(16);
-    let tree = BTree::bulk_load(&mut store, &sorted_entries(100_000)).unwrap();
-    let mut g = c.benchmark_group("btree_range");
-    for &span in &[10i64, 1_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
-            let mut lo = 0i64;
-            b.iter(|| {
-                lo = (lo + 37) % 10_000;
-                black_box(tree.range(&store, lo, lo + span).unwrap())
-            })
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_bulk_load, bench_insert, bench_range);
-criterion_main!(benches);
+    let mut store = FileStore::new(16);
+    let tree = BTree::bulk_load(&mut store, &sorted_entries(100_000)).unwrap();
+    for &span in &[10i64, 1_000] {
+        let mut lo = 0i64;
+        bench(&format!("btree_range/{span}"), || {
+            lo = (lo + 37) % 10_000;
+            black_box(tree.range(&store, lo, lo + span).unwrap());
+        });
+    }
+}

@@ -1,10 +1,10 @@
 //! Cost of the Figure 14 grouping pass, which the manager re-runs on
 //! every location update.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scanshare::grouping::find_leaders_trailers;
 use scanshare::anchor::AnchorId;
+use scanshare::grouping::find_leaders_trailers;
 use scanshare::ScanId;
+use scanshare_bench::micro::bench;
 use std::hint::black_box;
 
 fn scans(n: usize, anchors: u64) -> Vec<(ScanId, AnchorId, i64)> {
@@ -19,23 +19,16 @@ fn scans(n: usize, anchors: u64) -> Vec<(ScanId, AnchorId, i64)> {
         .collect()
 }
 
-fn bench_grouping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("find_leaders_trailers");
+fn main() {
     for &n in &[2usize, 8, 32, 128] {
         let s = scans(n, 4);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| black_box(find_leaders_trailers(s, 10_000)))
+        bench(&format!("find_leaders_trailers/{n}"), || {
+            black_box(find_leaders_trailers(&s, 10_000));
         });
     }
-    g.finish();
-}
 
-fn bench_grouping_one_anchor(c: &mut Criterion) {
     let s = scans(64, 1);
-    c.bench_function("find_leaders_trailers_single_chain_64", |b| {
-        b.iter(|| black_box(find_leaders_trailers(&s, 50_000)))
+    bench("find_leaders_trailers_single_chain_64", || {
+        black_box(find_leaders_trailers(&s, 50_000));
     });
 }
-
-criterion_group!(benches, bench_grouping, bench_grouping_one_anchor);
-criterion_main!(benches);

@@ -3,8 +3,10 @@
 //! `updateSISCANLocation`, `pr()` and `endSISCAN` being cheap even with
 //! many concurrent scans.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scanshare::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanSharingManager, SharingConfig};
+use scanshare::{
+    Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanSharingManager, SharingConfig,
+};
+use scanshare_bench::micro::bench;
 use scanshare_storage::{SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -38,47 +40,34 @@ fn manager_with_scans(n: usize) -> (ScanSharingManager, Vec<ScanId>) {
     (mgr, ids)
 }
 
-fn bench_update_location(c: &mut Criterion) {
-    let mut g = c.benchmark_group("update_location");
+fn main() {
     for &n in &[1usize, 4, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let (mgr, ids) = manager_with_scans(n);
-            let mut t = 1_000_000u64;
-            let mut pos = 0u64;
-            b.iter(|| {
-                t += 1000;
-                pos += 16;
-                black_box(mgr.update_location(
-                    ids[0],
-                    SimTime::from_micros(t),
-                    Location::new((pos % 1000) as i64, pos),
-                    16,
-                ))
-            });
+        let (mgr, ids) = manager_with_scans(n);
+        let mut t = 1_000_000u64;
+        let mut pos = 0u64;
+        bench(&format!("update_location/{n}"), || {
+            t += 1000;
+            pos += 16;
+            black_box(mgr.update_location(
+                ids[0],
+                SimTime::from_micros(t),
+                Location::new((pos % 1000) as i64, pos),
+                16,
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_start_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("start_end_scan");
     for &n in &[1usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let (mgr, _) = manager_with_scans(n);
-            b.iter(|| {
-                let (id, d) = mgr.start_scan(desc(0, 0, 1000), SimTime::from_secs(1));
-                black_box(&d);
-                mgr.end_scan(id, SimTime::from_secs(1));
-            });
+        let (mgr, _) = manager_with_scans(n);
+        bench(&format!("start_end_scan/{n}"), || {
+            let (id, d) = mgr.start_scan(desc(0, 0, 1000), SimTime::from_secs(1));
+            black_box(&d);
+            mgr.end_scan(id, SimTime::from_secs(1));
         });
     }
-    g.finish();
-}
 
-fn bench_page_priority(c: &mut Criterion) {
     let (mgr, ids) = manager_with_scans(16);
-    c.bench_function("pr()", |b| b.iter(|| black_box(mgr.page_priority(ids[7]))));
+    bench("pr()", || {
+        black_box(mgr.page_priority(ids[7]));
+    });
 }
-
-criterion_group!(benches, bench_update_location, bench_start_end, bench_page_priority);
-criterion_main!(benches);

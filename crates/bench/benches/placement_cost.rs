@@ -2,8 +2,8 @@
 //! the paper bounds the optimal "interesting locations" search at
 //! O(|S|³) and the practical anchor-group variant at O(|S|²).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scanshare::placement::{best_start_optimal, best_start_practical, calculate_reads, Trace};
+use scanshare_bench::micro::bench;
 use std::hint::black_box;
 
 fn members(n: usize) -> Vec<Trace> {
@@ -16,53 +16,25 @@ fn members(n: usize) -> Vec<Trace> {
         .collect()
 }
 
-fn bench_calculate_reads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("calculate_reads");
+fn main() {
     for &n in &[1usize, 4, 16, 64] {
         let m = members(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| {
-                black_box(calculate_reads(
-                    m,
-                    Trace::new(100.0, 100.0, 2100.0),
-                    500.0,
-                ))
-            })
+        bench(&format!("calculate_reads/{n}"), || {
+            black_box(calculate_reads(&m, Trace::new(100.0, 100.0, 2100.0), 500.0));
         });
     }
-    g.finish();
-}
 
-fn bench_practical(c: &mut Criterion) {
-    let mut g = c.benchmark_group("best_start_practical");
     for &n in &[1usize, 4, 16, 64] {
         let m = members(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| black_box(best_start_practical(m, 100.0, 2000.0, 500.0)))
+        bench(&format!("best_start_practical/{n}"), || {
+            black_box(best_start_practical(&m, 100.0, 2000.0, 500.0));
         });
     }
-    g.finish();
-}
 
-fn bench_optimal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("best_start_optimal");
-    g.sample_size(20);
     for &n in &[1usize, 4, 16, 32] {
         let m = members(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| {
-                black_box(best_start_optimal(
-                    m,
-                    100.0,
-                    2000.0,
-                    500.0,
-                    (0.0, 5000.0),
-                ))
-            })
+        bench(&format!("best_start_optimal/{n}"), || {
+            black_box(best_start_optimal(&m, 100.0, 2000.0, 500.0, (0.0, 5000.0)));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_calculate_reads, bench_practical, bench_optimal);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! The priority-aware policy must not cost measurably more than LRU —
 //! the paper's whole approach assumes the caching system stays cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare_bench::micro::bench;
 use scanshare_storage::{
     page::zeroed_page, BufferPool, FileId, FixOutcome, PageId, PagePriority, PoolConfig,
     ReplacementPolicy,
@@ -29,28 +29,18 @@ fn run_mixed(pool: &mut BufferPool, buf: &scanshare_storage::PageBuf, i: u64) {
     pool.release(id, prio).unwrap();
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pool_fix_release");
+fn main() {
     for policy in [ReplacementPolicy::Lru, ReplacementPolicy::PriorityLru] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
-                let buf = zeroed_page().freeze();
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    run_mixed(&mut pool, &buf, i);
-                    black_box(pool.len())
-                });
-            },
-        );
+        let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
+        let buf = zeroed_page().freeze();
+        let mut i = 0u64;
+        bench(&format!("pool_fix_release/{policy:?}"), || {
+            i += 1;
+            run_mixed(&mut pool, &buf, i);
+            black_box(pool.len());
+        });
     }
-    g.finish();
-}
 
-fn bench_hit_path(c: &mut Criterion) {
     let mut pool = BufferPool::new(PoolConfig::new(64, ReplacementPolicy::PriorityLru));
     let buf = zeroed_page().freeze();
     let id = PageId::new(FileId(0), 7);
@@ -59,14 +49,9 @@ fn bench_hit_path(c: &mut Criterion) {
         FixOutcome::Miss => pool.complete_miss(id, buf).unwrap(),
     }
     pool.release(id, PagePriority::Normal).unwrap();
-    c.bench_function("pool_hot_hit", |b| {
-        b.iter(|| {
-            let out = pool.fix(id);
-            black_box(&out);
-            pool.release(id, PagePriority::High).unwrap();
-        })
+    bench("pool_hot_hit", || {
+        let out = pool.fix(id);
+        black_box(&out);
+        pool.release(id, PagePriority::High).unwrap();
     });
 }
-
-criterion_group!(benches, bench_policies, bench_hit_path);
-criterion_main!(benches);

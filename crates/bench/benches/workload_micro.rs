@@ -2,38 +2,28 @@
 //! executor → disk model), base vs scan-sharing: the host-time cost of
 //! simulating one overlapping 3-scan workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scanshare::SharingConfig;
+use scanshare_bench::micro::bench;
 use scanshare_engine::{run_workload, SharingMode};
 use scanshare_storage::SimDuration;
 use scanshare_tpch::{generate, q6, staggered_workload, TpchConfig};
 use std::hint::black_box;
 
-fn bench_tiny_workload(c: &mut Criterion) {
+fn main() {
     let cfg = TpchConfig::tiny();
     let db = generate(&cfg);
     let q = q6(cfg.months as i64, 1);
-    let mut g = c.benchmark_group("staggered_q6_sim");
-    g.sample_size(20);
     for (name, mode) in [
         ("base", SharingMode::Base),
         ("ss", SharingMode::ScanSharing(SharingConfig::new(0))),
     ] {
         let spec = staggered_workload(&db, &q, 3, SimDuration::from_millis(50), mode);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| black_box(run_workload(&db, spec).unwrap()))
+        bench(&format!("staggered_q6_sim/{name}"), || {
+            black_box(run_workload(&db, &spec).unwrap());
         });
     }
-    g.finish();
-}
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tpch_generate");
-    g.sample_size(10);
-    let cfg = TpchConfig::tiny();
-    g.bench_function("tiny", |b| b.iter(|| black_box(generate(&cfg))));
-    g.finish();
+    bench("tpch_generate/tiny", || {
+        black_box(generate(&cfg));
+    });
 }
-
-criterion_group!(benches, bench_tiny_workload, bench_generation);
-criterion_main!(benches);

@@ -22,7 +22,12 @@ struct AblationRow {
     read_gain_pct: f64,
 }
 
-fn variant(name: &str, placement: bool, throttling: bool, priorities: bool) -> (String, SharingMode) {
+fn variant(
+    name: &str,
+    placement: bool,
+    throttling: bool,
+    priorities: bool,
+) -> (String, SharingMode) {
     (
         name.to_string(),
         SharingMode::ScanSharing(SharingConfig {

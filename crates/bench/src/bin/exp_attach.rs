@@ -68,7 +68,12 @@ fn main() {
                 CpuClass::cpu_bound() // 6x the per-row work: a slow reader
             };
             Stream {
-                queries: vec![li_scan(if i % 2 == 0 { "fast" } else { "slow" }, lo, last, cpu)],
+                queries: vec![li_scan(
+                    if i % 2 == 0 { "fast" } else { "slow" },
+                    lo,
+                    last,
+                    cpu,
+                )],
                 start_offset: SimDuration::from_millis(80 * i),
             }
         })
@@ -84,9 +89,15 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for (wname, streams) in [("homogeneous", &homogeneous), ("heterogeneous", &heterogeneous)] {
+    for (wname, streams) in [
+        ("homogeneous", &homogeneous),
+        ("heterogeneous", &heterogeneous),
+    ] {
         println!("\n== A8/{wname}: 4 overlapping 2-year scans ==");
-        println!("{:<22} {:>10} {:>12} {:>8}", "mode", "time (s)", "pages read", "gain");
+        println!(
+            "{:<22} {:>10} {:>12} {:>8}",
+            "mode", "time (s)", "pages read", "gain"
+        );
         let mut base_time = 0.0;
         for (mname, mode) in &modes {
             let spec = WorkloadSpec {

@@ -35,7 +35,10 @@ fn main() {
     print_breakdown("SS", &rs);
 
     println!("\n== Figure 15 (right): per-run timings ==");
-    println!("{:<8} {:>10} {:>10} {:>8}", "run", "base (s)", "SS (s)", "gain");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "run", "base (s)", "SS (s)", "gain"
+    );
     let mut base_times = Vec::new();
     let mut ss_times = Vec::new();
     let mut gains = Vec::new();

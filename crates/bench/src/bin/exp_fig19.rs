@@ -24,7 +24,10 @@ fn main() {
     let (rb, rs) = run_pair(&db, &base, &ss);
 
     println!("\n== Figure 19: per-stream timings (5-stream TPC-H) ==");
-    println!("{:<8} {:>10} {:>10} {:>8}", "stream", "base (s)", "SS (s)", "gain");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "stream", "base (s)", "SS (s)", "gain"
+    );
     let mut out = Fig19 {
         base_stream_s: vec![],
         ss_stream_s: vec![],
@@ -33,13 +36,23 @@ fn main() {
     for i in 0..rb.stream_elapsed.len() {
         let b = rb.stream_elapsed[i].as_secs_f64();
         let s = rs.stream_elapsed[i].as_secs_f64();
-        println!("{:<8} {:>10.2} {:>10.2} {:>7.1}%", i + 1, b, s, pct_gain(b, s));
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>7.1}%",
+            i + 1,
+            b,
+            s,
+            pct_gain(b, s)
+        );
         out.base_stream_s.push(b);
         out.ss_stream_s.push(s);
         out.gain_pct.push(pct_gain(b, s));
     }
     let min = out.gain_pct.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = out.gain_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = out
+        .gain_pct
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     println!("\ngain spread across streams: {min:.1}% .. {max:.1}%");
     println!("paper reports: each stream gains similarly.");
     dump_json("fig19", &out);

@@ -26,7 +26,10 @@ fn main() {
     let (rb, rs) = run_pair(&db, &base, &ss);
 
     println!("\n== Figure 20: average per-query execution time (5 streams) ==");
-    println!("{:<6} {:>10} {:>10} {:>8}", "query", "base (s)", "SS (s)", "gain");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "query", "base (s)", "SS (s)", "gain"
+    );
     let mut rows = Vec::new();
     let mut negative = 0;
     for name in QUERY_NAMES {

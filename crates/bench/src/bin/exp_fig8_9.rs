@@ -31,8 +31,14 @@ fn main() {
     let near_a = reads_for_ranges(&[(15, 2), (20, 2), (40, 2), (15, 2)]);
     let worst = reads_for_ranges(&[(15, 3), (30, 2), (30, 3), (5, 3), (10, 3)]);
     println!("== Figures 8/9: the paper's worked example ==");
-    println!("start at front:  {front} reads (worst case {worst}) -> {:.0}% saved", (1.0 - front as f64 / worst as f64) * 100.0);
-    println!("start near A:    {near_a} reads -> {:.0}% saved", (1.0 - near_a as f64 / worst as f64) * 100.0);
+    println!(
+        "start at front:  {front} reads (worst case {worst}) -> {:.0}% saved",
+        (1.0 - front as f64 / worst as f64) * 100.0
+    );
+    println!(
+        "start near A:    {near_a} reads -> {:.0}% saved",
+        (1.0 - near_a as f64 / worst as f64) * 100.0
+    );
     assert_eq!((front, near_a, worst), (195, 180, 240));
     println!("matches the paper: 195 vs 240 (19%), 180 vs 240 (25%)\n");
 
@@ -64,8 +70,8 @@ fn main() {
         "start near A   : {:.0} reads (baseline {:.0})",
         near_a_live.reads, near_a_live.baseline
     );
-    let practical = best_start_practical(&members, cand_speed, cand_pages, pool)
-        .expect("sharing is available");
+    let practical =
+        best_start_practical(&members, cand_speed, cand_pages, pool).expect("sharing is available");
     println!(
         "practical algorithm joins member #{} at offset {:.0} (savings {:.2}/page)",
         practical.member,

@@ -33,7 +33,11 @@ fn main() {
 
     let overhead = (rs.makespan.as_secs_f64() / rb.makespan.as_secs_f64() - 1.0) * 100.0;
     println!("\n== E0: single-stream TPC-H, sharing on vs off ==");
-    println!("base: {:.2}s   scan-sharing: {:.2}s", rb.makespan.as_secs_f64(), rs.makespan.as_secs_f64());
+    println!(
+        "base: {:.2}s   scan-sharing: {:.2}s",
+        rb.makespan.as_secs_f64(),
+        rs.makespan.as_secs_f64()
+    );
     println!("overhead: {overhead:+.2}% (paper: well below 1%)");
     println!(
         "reads: base {} pages, ss {} pages",

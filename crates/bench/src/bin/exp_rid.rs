@@ -11,14 +11,12 @@
 //! common real-world case), and three analysts scanning overlapping key
 //! ranges moments apart.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use scanshare_bench::*;
 use scanshare_engine::{
     Access, AggSpec, CpuClass, Database, EngineConfig, Pred, Query, ScanSpec, SharingMode, Stream,
     WorkloadSpec,
 };
+use scanshare_prng::Rng;
 use scanshare_relstore::{ColType, Column, Schema, Value};
 use scanshare_storage::SimDuration;
 use serde::Serialize;
@@ -43,11 +41,11 @@ struct RidOut {
 /// Rows in key order, shuffled within a sliding window: key k lands
 /// within ~`window` rows of its sorted position.
 fn correlated_rows(n: u64, keys: i64, window: usize, seed: u64) -> Vec<Vec<Value>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut order: Vec<u64> = (0..n).collect();
     for start in (0..order.len()).step_by(window) {
         let end = (start + window).min(order.len());
-        order[start..end].shuffle(&mut rng);
+        rng.shuffle(&mut order[start..end]);
     }
     order
         .into_iter()
@@ -81,13 +79,22 @@ fn main() {
         Column::new("v", ColType::Float64),
     ]);
     eprintln!("building correlated RID-indexed table ...");
-    db.create_heap_table_with_index("events", schema, 0, correlated_rows(200_000, 1000, 2048, 11))
-        .expect("load");
+    db.create_heap_table_with_index(
+        "events",
+        schema,
+        0,
+        correlated_rows(200_000, 1000, 2048, 11),
+    )
+    .expect("load");
     let pages = db.table("events").unwrap().num_pages();
     eprintln!("  events: {pages} pages");
 
     // Three overlapping range reports within the same key region.
-    let scans = [("r0_600", 0i64, 600i64), ("r50_650", 50, 650), ("r100_700", 100, 700)];
+    let scans = [
+        ("r0_600", 0i64, 600i64),
+        ("r50_650", 50, 650),
+        ("r100_700", 100, 700),
+    ];
     let streams: Vec<Stream> = scans
         .iter()
         .enumerate()
@@ -105,7 +112,10 @@ fn main() {
     let (rb, rs) = run_pair(&db, &spec(SharingMode::Base), &spec(ss_mode()));
 
     println!("\n== E-RID: overlapping RID index scans ==");
-    println!("{:<10} {:>10} {:>10} {:>8}", "scan", "base (s)", "SS (s)", "gain");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "scan", "base (s)", "SS (s)", "gain"
+    );
     let mut rows = Vec::new();
     for (i, &(name, ..)) in scans.iter().enumerate() {
         let b = rb.stream_elapsed[i].as_secs_f64();

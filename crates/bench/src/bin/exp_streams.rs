@@ -39,8 +39,11 @@ fn main() {
             &throughput_workload(&db, n, months, cfg.seed, SharingMode::Base),
         )
         .expect("base");
-        let rs = run_workload(&db, &throughput_workload(&db, n, months, cfg.seed, ss_mode()))
-            .expect("ss");
+        let rs = run_workload(
+            &db,
+            &throughput_workload(&db, n, months, cfg.seed, ss_mode()),
+        )
+        .expect("ss");
         let b = rb.makespan.as_secs_f64();
         let s = rs.makespan.as_secs_f64();
         println!(

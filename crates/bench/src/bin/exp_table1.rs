@@ -48,9 +48,7 @@ fn main() {
         GainRow::new("disk seeks", rb.disk.seeks as f64, rs.disk.seeks as f64),
     ];
     print_gain_table("Table 1: 5-stream TPC-H throughput", &rows);
-    println!(
-        "\npaper reports: end-to-end 21%, disk reads 33%, disk seeks 34%"
-    );
+    println!("\npaper reports: end-to-end 21%, disk reads 33%, disk seeks 34%");
     println!(
         "sharing decisions: {} joins, {} fresh starts, {} throttle waits ({} total)",
         rs.sharing.scans_joined + rs.sharing.scans_joined_finished,

@@ -21,6 +21,8 @@
 //! as JSON under `results/`. Scale via `SCANSHARE_SCALE` (default 1.0)
 //! and seed via `SCANSHARE_SEED` (default 42).
 
+pub mod micro;
+
 use scanshare::SharingConfig;
 use scanshare_engine::{run_workload, Database, RunReport, SharingMode, WorkloadSpec};
 use scanshare_storage::TimeSeries;
@@ -90,7 +92,10 @@ pub fn calibrated_stagger(
     scanshare_storage::SimDuration::from_micros(us.max(1))
 }
 
-/// Run base and scan-sharing variants of a workload.
+/// Run base and scan-sharing variants of a workload. When the binary was
+/// invoked with `--metrics-out PATH` (or `SCANSHARE_METRICS_OUT` is set),
+/// both runs' observability snapshots are appended to that file as
+/// labeled JSON-lines.
 pub fn run_pair(db: &Database, base: &WorkloadSpec, ss: &WorkloadSpec) -> (RunReport, RunReport) {
     eprintln!("running base ...");
     let rb = run_workload(db, base).expect("base run");
@@ -104,7 +109,65 @@ pub fn run_pair(db: &Database, base: &WorkloadSpec, ss: &WorkloadSpec) -> (RunRe
         "  ss makespan:   {} ({} pages read, {} seeks)",
         rs.makespan, rs.disk.pages_read, rs.disk.seeks
     );
+    record_metrics("base", &rb);
+    record_metrics("scan-sharing", &rs);
     (rb, rs)
+}
+
+/// Extract `--metrics-out PATH` from an argument vector.
+pub fn metrics_out_from(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The metrics sink path, resolved once per process: `--metrics-out`
+/// beats `SCANSHARE_METRICS_OUT`. The file is truncated on first use so
+/// each experiment invocation starts a fresh log.
+fn metrics_out_file() -> Option<&'static str> {
+    static PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let argv: Vec<String> = std::env::args().collect();
+        let path =
+            metrics_out_from(&argv).or_else(|| std::env::var("SCANSHARE_METRICS_OUT").ok())?;
+        if let Err(e) = std::fs::write(&path, "") {
+            eprintln!("cannot open metrics sink {path}: {e}");
+            return None;
+        }
+        Some(path)
+    })
+    .as_deref()
+}
+
+/// Append one labeled metrics snapshot to the `--metrics-out` sink (a
+/// no-op when none is configured). Public so experiment binaries can log
+/// runs that do not go through [`run_pair`].
+pub fn record_metrics(label: &str, report: &RunReport) {
+    let Some(path) = metrics_out_file() else {
+        return;
+    };
+    #[derive(Serialize)]
+    struct Line {
+        label: String,
+        makespan_us: u64,
+        metrics: scanshare::MetricsSnapshot,
+    }
+    let line = Line {
+        label: label.to_string(),
+        makespan_us: report.makespan.as_micros(),
+        metrics: report.metrics.clone(),
+    };
+    match serde_json::to_string(&line) {
+        Ok(json) => {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(path) {
+                let _ = writeln!(f, "{json}");
+                eprintln!("  metrics[{label}] appended to {path}");
+            }
+        }
+        Err(e) => eprintln!("metrics serialize failed: {e}"),
+    }
 }
 
 /// Percent improvement of `ss` over `base`.
@@ -194,6 +257,17 @@ pub fn print_breakdown(label: &str, report: &RunReport) {
 mod tests {
     use super::*;
     use scanshare_storage::SimTime;
+
+    #[test]
+    fn metrics_out_flag_is_extracted_from_argv() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        assert_eq!(
+            metrics_out_from(&args("exp_table1 --metrics-out m.jsonl")),
+            Some("m.jsonl".into())
+        );
+        assert_eq!(metrics_out_from(&args("exp_table1")), None);
+        assert_eq!(metrics_out_from(&args("exp_table1 --metrics-out")), None);
+    }
 
     #[test]
     fn gain_row_computes_percentage() {

@@ -13,9 +13,13 @@
 //! `--name value` pairs validated against each subcommand's schema.
 
 use scanshare::SharingConfig;
-use scanshare_engine::{run_workload, Database, RunReport, SharingMode, WorkloadSpec};
+use scanshare_engine::{
+    run_workload, run_workload_traced, Database, RunReport, SharingMode, Tracer, WorkloadSpec,
+};
 use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
 use serde::{Deserialize, Serialize};
+
+pub mod render;
 
 /// A self-contained run description: the database to generate plus the
 /// workload to execute against it.
@@ -64,22 +68,56 @@ pub enum Command {
         seed: u64,
         stagger_frac: f64,
     },
-    /// `run --spec FILE [--db FILE] [--compare]`
+    /// `run --spec FILE [--db FILE] [--compare] [--report OUT]
+    /// [--trace-out OUT]`
     Run {
         spec: String,
         db: Option<String>,
         compare: bool,
+        outputs: RunOutputs,
     },
+    /// `trace --artifact FILE`: replay a saved report's event log.
+    Trace { artifact: String },
+    /// `metrics --artifact FILE`: render a saved report's metrics.
+    Metrics { artifact: String },
     /// `generate --scale S --seed X --out FILE`
-    Generate {
-        scale: f64,
-        seed: u64,
-        out: String,
-    },
+    Generate { scale: f64, seed: u64, out: String },
     /// `spec-template`
     SpecTemplate,
     /// `help`
     Help,
+}
+
+/// Where `run` saves its artifacts, if anywhere. The measured run (the
+/// scan-sharing side under `--compare`) executes with a tracer attached
+/// whenever either output is requested, so the saved report embeds both
+/// the metrics snapshot and the replayable event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOutputs {
+    /// `--report OUT`: full [`RunReport`] as JSON.
+    pub report: Option<String>,
+    /// `--trace-out OUT`: the trace alone, as JSON-lines.
+    pub trace: Option<String>,
+}
+
+impl RunOutputs {
+    fn any(&self) -> bool {
+        self.report.is_some() || self.trace.is_some()
+    }
+
+    fn save(&self, r: &RunReport) -> Result<(), String> {
+        if let Some(path) = &self.report {
+            let json = serde_json::to_string_pretty(r).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report saved to {path}");
+        }
+        if let Some(path) = &self.trace {
+            let jsonl = scanshare_engine::trace::records_to_jsonl(&r.trace);
+            std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("trace saved to {path}");
+        }
+        Ok(())
+    }
 }
 
 /// Error from argument parsing.
@@ -146,8 +184,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 spec,
                 db: flag_value(args, "--db").map(String::from),
                 compare: args.iter().any(|a| a == "--compare"),
+                outputs: RunOutputs {
+                    report: flag_value(args, "--report").map(String::from),
+                    trace: flag_value(args, "--trace-out").map(String::from),
+                },
             })
         }
+        "trace" => Ok(Command::Trace {
+            artifact: flag_value(args, "--artifact")
+                .ok_or_else(|| UsageError("trace requires --artifact FILE".into()))?
+                .to_string(),
+        }),
+        "metrics" => Ok(Command::Metrics {
+            artifact: flag_value(args, "--artifact")
+                .ok_or_else(|| UsageError("metrics requires --artifact FILE".into()))?
+                .to_string(),
+        }),
         "generate" => Ok(Command::Generate {
             scale: parse_flag(args, "--scale", 0.5)?,
             seed: parse_flag(args, "--seed", 42)?,
@@ -171,9 +223,18 @@ USAGE:
   scanshare staggered [--query q1|q6] [--copies N] [--scale S] [--seed X]
                       [--stagger-frac F]
       Staggered single-query run (Figure 15/16 setup).
-  scanshare run --spec FILE [--db FILE] [--compare]
+  scanshare run --spec FILE [--db FILE] [--compare] [--report OUT]
+                [--trace-out OUT]
       Execute a JSON RunSpec; --compare forces base vs scan-sharing;
-      --db loads a previously generated database instead of regenerating.
+      --db loads a previously generated database instead of regenerating;
+      --report saves the full RunReport (metrics + trace) as JSON and
+      --trace-out saves the event log alone as JSON-lines.
+  scanshare trace --artifact FILE
+      Replay a saved RunReport (or raw JSON-lines trace): scan
+      lifecycles with attributed throttle waits, then the event log.
+  scanshare metrics --artifact FILE
+      Render a saved RunReport's metrics snapshot: counters, latency
+      histograms, and per-group/per-scan timelines as text tables.
   scanshare generate [--scale S] [--seed X] --out FILE
       Generate the TPC-H-like database once and save it for reuse.
   scanshare spec-template
@@ -290,7 +351,12 @@ pub fn execute(cmd: Command) -> i32 {
             );
             run_maybe_compare(&db, &ss_spec, true)
         }
-        Command::Run { spec, db, compare } => {
+        Command::Run {
+            spec,
+            db,
+            compare,
+            outputs,
+        } => {
             let text = match std::fs::read_to_string(&spec) {
                 Ok(t) => t,
                 Err(e) => {
@@ -315,8 +381,28 @@ pub fn execute(cmd: Command) -> i32 {
                 },
                 None => generate(&parsed.tpch),
             };
-            run_maybe_compare(&database, &parsed.workload, compare)
+            run_maybe_compare_with(&database, &parsed.workload, compare, &outputs)
         }
+        Command::Trace { artifact } => match load_artifact_trace(&artifact) {
+            Ok(records) => {
+                print!("{}", render::render_trace(&records));
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        },
+        Command::Metrics { artifact } => match load_report(&artifact) {
+            Ok(report) => {
+                print!("{}", render::render_metrics(&report));
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        },
         Command::Generate { scale, seed, out } => {
             let tpch = TpchConfig {
                 scale,
@@ -342,13 +428,51 @@ pub fn execute(cmd: Command) -> i32 {
     }
 }
 
+/// Load a saved [`RunReport`] JSON artifact.
+pub fn load_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("invalid report {path}: {e}"))
+}
+
+/// Load the trace of an artifact: either a [`RunReport`] JSON (the
+/// embedded trace) or a raw JSON-lines file from `--trace-out`.
+pub fn load_artifact_trace(path: &str) -> Result<Vec<scanshare_engine::TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(report) = serde_json::from_str::<RunReport>(&text) {
+        return Ok(report.trace);
+    }
+    scanshare_engine::trace::records_from_jsonl(&text)
+        .map_err(|e| format!("{path} is neither a RunReport nor a JSONL trace: {e}"))
+}
+
+fn run_measured(
+    db: &Database,
+    spec: &WorkloadSpec,
+    outputs: &RunOutputs,
+) -> Result<RunReport, String> {
+    let r = if outputs.any() {
+        run_workload_traced(db, spec, Tracer::new(1 << 16))
+    } else {
+        run_workload(db, spec)
+    }
+    .map_err(|e| format!("run failed: {e}"))?;
+    outputs.save(&r)?;
+    Ok(r)
+}
+
 fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
+    run_maybe_compare_with(db, spec, compare, &RunOutputs::default())
+}
+
+fn run_maybe_compare_with(
+    db: &Database,
+    spec: &WorkloadSpec,
+    compare: bool,
+    outputs: &RunOutputs,
+) -> i32 {
     if compare {
         let base = force_mode(spec, SharingMode::Base);
-        let ss = force_mode(
-            spec,
-            SharingMode::ScanSharing(SharingConfig::new(0)),
-        );
+        let ss = force_mode(spec, SharingMode::ScanSharing(SharingConfig::new(0)));
         let rb = match run_workload(db, &base) {
             Ok(r) => r,
             Err(e) => {
@@ -356,23 +480,24 @@ fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
                 return 1;
             }
         };
-        let rs = match run_workload(db, &ss) {
+        // Artifacts describe the measured (scan-sharing) side.
+        let rs = match run_measured(db, &ss, outputs) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("scan-sharing run failed: {e}");
+                eprintln!("scan-sharing {e}");
                 return 1;
             }
         };
         print_comparison(&rb, &rs);
         0
     } else {
-        match run_workload(db, spec) {
+        match run_measured(db, spec, outputs) {
             Ok(r) => {
                 print_report("run", &r);
                 0
             }
             Err(e) => {
-                eprintln!("run failed: {e}");
+                eprintln!("{e}");
                 1
             }
         }
@@ -415,8 +540,7 @@ mod tests {
 
     #[test]
     fn parses_staggered() {
-        let cmd =
-            parse_args(&args("staggered --query q1 --copies 4 --stagger-frac 0.3")).unwrap();
+        let cmd = parse_args(&args("staggered --query q1 --copies 4 --stagger-frac 0.3")).unwrap();
         assert_eq!(
             cmd,
             Command::Staggered {
@@ -436,6 +560,78 @@ mod tests {
         assert!(parse_args(&args("run")).is_err());
         assert!(parse_args(&args("generate")).is_err());
         assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("trace")).is_err());
+        assert!(parse_args(&args("metrics")).is_err());
+    }
+
+    #[test]
+    fn parses_run_outputs_and_replay_commands() {
+        let cmd = parse_args(&args(
+            "run --spec s.json --report out.json --trace-out t.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                spec: "s.json".into(),
+                db: None,
+                compare: false,
+                outputs: RunOutputs {
+                    report: Some("out.json".into()),
+                    trace: Some("t.jsonl".into()),
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args("trace --artifact out.json")).unwrap(),
+            Command::Trace {
+                artifact: "out.json".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&args("metrics --artifact out.json")).unwrap(),
+            Command::Metrics {
+                artifact: "out.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn saved_artifacts_replay_through_trace_and_metrics() {
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        let w = throughput_workload(
+            &db,
+            2,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let report_path = dir.join(format!("scanshare_report_{pid}.json"));
+        let trace_path = dir.join(format!("scanshare_trace_{pid}.jsonl"));
+        let outputs = RunOutputs {
+            report: Some(report_path.to_string_lossy().into_owned()),
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+        };
+        assert_eq!(run_maybe_compare_with(&db, &w, false, &outputs), 0);
+
+        // The saved report replays: embedded trace matches the JSONL
+        // side channel, and both renderers produce real output.
+        let report = load_report(outputs.report.as_deref().unwrap()).unwrap();
+        assert!(!report.trace.is_empty());
+        let from_jsonl = load_artifact_trace(outputs.trace.as_deref().unwrap()).unwrap();
+        let from_report = load_artifact_trace(outputs.report.as_deref().unwrap()).unwrap();
+        assert_eq!(report.trace, from_jsonl);
+        assert_eq!(report.trace, from_report);
+        let trace_text = render::render_trace(&report.trace);
+        assert!(trace_text.contains("scan lifecycles"));
+        let metrics_text = render::render_metrics(&report);
+        assert!(metrics_text.contains("histograms"));
+        assert!(metrics_text.contains("disk.read_us"));
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]
@@ -472,13 +668,8 @@ mod tests {
         // Tiny spec, run through the same path as the binary.
         let tpch = TpchConfig::tiny();
         let db = generate(&tpch);
-        let workload = throughput_workload(
-            &db,
-            1,
-            tpch.months as i64,
-            tpch.seed,
-            SharingMode::Base,
-        );
+        let workload =
+            throughput_workload(&db, 1, tpch.months as i64, tpch.seed, SharingMode::Base);
         let code = run_maybe_compare(&db, &workload, true);
         assert_eq!(code, 0);
     }

@@ -1,0 +1,243 @@
+//! Text rendering of saved run artifacts.
+//!
+//! `scanshare trace` and `scanshare metrics` replay a [`RunReport`] that
+//! a previous `scanshare run --report FILE` wrote to disk: no simulation
+//! happens here, only formatting of what the observability layer
+//! recorded — scan lifecycles reassembled from the embedded trace, and
+//! the metrics snapshot's counters, histograms, and time series drawn as
+//! fixed-width ASCII timelines.
+
+use scanshare::obs::{HistogramSnapshot, MetricsSnapshot, SeriesSnapshot};
+use scanshare_engine::trace::{render_records, spans, TraceRecord};
+use scanshare_engine::RunReport;
+
+/// Columns in a rendered timeline.
+const TIMELINE_WIDTH: usize = 48;
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Draw `s` as a fixed-width intensity strip over `[0, end_us]`: each
+/// column holds the maximum sample landing in its time slice, scaled
+/// against the series' global maximum into the ASCII ramp ` .:-=+*#%@`.
+fn timeline(s: &SeriesSnapshot, end_us: u64, width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let end_us = end_us.max(1);
+    let peak = s.max_value();
+    let mut cols = vec![f64::NEG_INFINITY; width];
+    for p in &s.points {
+        let idx = ((p.at_us.min(end_us - 1)) as usize * width) / end_us as usize;
+        let idx = idx.min(width - 1);
+        cols[idx] = cols[idx].max(p.value);
+    }
+    cols.iter()
+        .map(|&v| {
+            if v == f64::NEG_INFINITY {
+                ' '
+            } else if peak <= 0.0 {
+                RAMP[1] as char
+            } else {
+                let level = ((v / peak) * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[level.clamp(1, RAMP.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+fn render_series_block(out: &mut String, title: &str, series: &[&SeriesSnapshot], end_us: u64) {
+    if series.is_empty() {
+        return;
+    }
+    out.push_str(&format!("== {title} ==\n"));
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    for s in series {
+        let last = s.points.last().map(|p| p.value).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {:<name_w$} |{}| last {:>10.3}  peak {:>10.3}  ({} pts)\n",
+            s.name,
+            timeline(s, end_us, TIMELINE_WIDTH),
+            last,
+            s.max_value(),
+            s.points.len(),
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "  {:<20} n {:>8}  min {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}  max {:>9}  mean {:>11.1}\n",
+        h.name,
+        h.count,
+        h.min,
+        h.p50,
+        h.p95,
+        h.p99,
+        h.max,
+        h.mean(),
+    ));
+}
+
+/// Render the metrics snapshot of a saved run: aggregate counters and
+/// gauges, latency histograms, and every sampled time series as a
+/// timeline spanning the run.
+pub fn render_metrics(report: &RunReport) -> String {
+    let m: &MetricsSnapshot = &report.metrics;
+    let end_us = m.at.as_micros().max(report.makespan.as_micros());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run: makespan {:.3}s, snapshot at {:.3}s\n\n",
+        report.makespan.as_secs_f64(),
+        secs(m.at.as_micros()),
+    ));
+    if !m.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for c in &m.counters {
+            out.push_str(&format!("  {:<24} {:>12}\n", c.name, c.value));
+        }
+        out.push('\n');
+    }
+    if !m.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        for g in &m.gauges {
+            out.push_str(&format!("  {:<24} {:>12.3}\n", g.name, g.value));
+        }
+        out.push('\n');
+    }
+    if !m.histograms.is_empty() {
+        out.push_str("== histograms (µs) ==\n");
+        for h in &m.histograms {
+            render_histogram(&mut out, h);
+        }
+        out.push('\n');
+    }
+    let groups: Vec<&SeriesSnapshot> = m.series_with_prefix("group.").collect();
+    let scans: Vec<&SeriesSnapshot> = m.series_with_prefix("scan.").collect();
+    let rest: Vec<&SeriesSnapshot> = m
+        .series
+        .iter()
+        .filter(|s| !s.name.starts_with("group.") && !s.name.starts_with("scan."))
+        .collect();
+    render_series_block(
+        &mut out,
+        "group timelines (leader-trailer distance, pages)",
+        &groups,
+        end_us,
+    );
+    render_series_block(
+        &mut out,
+        "scan timelines (slowdown vs fairness cap, 0..1)",
+        &scans,
+        end_us,
+    );
+    render_series_block(&mut out, "system series", &rest, end_us);
+    out
+}
+
+/// Render the embedded trace of a saved run: one row per scan lifecycle
+/// (start → wraps → finish, with attributed throttle waits), followed by
+/// the raw event log.
+pub fn render_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    let spans = spans(records);
+    out.push_str(&format!("== scan lifecycles ({}) ==\n", spans.len()));
+    out.push_str(&format!(
+        "  {:<6} {:<10} {:<7} {:<22} {:>9} {:>9} {:>9} {:>6} {:>9} {:>12}\n",
+        "scan",
+        "query",
+        "stream",
+        "placement",
+        "start(s)",
+        "finish(s)",
+        "elapsed",
+        "wraps",
+        "throttles",
+        "wait(s)"
+    ));
+    for s in &spans {
+        let fmt_t = |t: Option<scanshare_storage::SimTime>| match t {
+            Some(t) => format!("{:.3}", secs(t.as_micros())),
+            None => "-".to_string(),
+        };
+        let elapsed = match s.elapsed() {
+            Some(d) => format!("{:.3}", d.as_secs_f64()),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "  {:<6} {:<10} {:<7} {:<22} {:>9} {:>9} {:>9} {:>6} {:>9} {:>12.3}\n",
+            s.scan.0,
+            s.query,
+            s.stream,
+            s.placement,
+            fmt_t(s.start),
+            fmt_t(s.finish),
+            elapsed,
+            s.wraps.len(),
+            s.throttles,
+            s.throttle_wait.as_secs_f64(),
+        ));
+    }
+    out.push_str(&format!("\n== events ({}) ==\n", records.len()));
+    out.push_str(&render_records(records));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_storage::SimTime;
+
+    fn series(name: &str, pts: &[(u64, f64)]) -> SeriesSnapshot {
+        let s = scanshare::obs::Series::new();
+        for &(at, v) in pts {
+            s.push(SimTime::from_micros(at), v);
+        }
+        s.snapshot(name)
+    }
+
+    #[test]
+    fn timeline_scales_to_the_peak() {
+        let s = series("x", &[(0, 1.0), (500_000, 10.0), (999_999, 5.0)]);
+        let t = timeline(&s, 1_000_000, 10);
+        assert_eq!(t.len(), 10);
+        // Peak lands mid-strip as the densest glyph.
+        assert_eq!(t.chars().nth(5), Some('@'));
+        // Unsampled columns stay blank.
+        assert!(t.contains(' '));
+    }
+
+    #[test]
+    fn timeline_of_flat_zero_series_is_visible() {
+        let s = series("z", &[(0, 0.0), (900_000, 0.0)]);
+        let t = timeline(&s, 1_000_000, 10);
+        // Zero samples still mark their column (lowest ramp level).
+        assert_eq!(t.chars().next(), Some('.'));
+    }
+
+    #[test]
+    fn render_trace_lists_lifecycles_and_events() {
+        use scanshare_engine::trace::{TraceEvent, Tracer};
+        let tracer = Tracer::new(16);
+        let t0 = SimTime::ZERO;
+        tracer.record(
+            t0,
+            TraceEvent::ScanStarted {
+                scan: scanshare::ScanId(7),
+                query: "Q6".into(),
+                stream: 0,
+                placement: "fresh".into(),
+            },
+        );
+        tracer.record(
+            SimTime::from_secs(2),
+            TraceEvent::ScanFinished {
+                scan: scanshare::ScanId(7),
+            },
+        );
+        let text = render_trace(&tracer.records());
+        assert!(text.contains("scan lifecycles (1)"));
+        assert!(text.contains("Q6"));
+        assert!(text.contains("events (2)"));
+    }
+}

@@ -57,6 +57,7 @@ pub mod anchor;
 pub mod config;
 pub mod grouping;
 pub mod manager;
+pub mod obs;
 pub mod placement;
 pub mod scan;
 pub mod stats;
@@ -64,7 +65,8 @@ pub mod throttle;
 
 pub use config::{PlacementStrategy, SharingConfig};
 pub use grouping::{GroupInfo, Role};
-pub use manager::{ScanSharingManager, StartDecision, UpdateOutcome};
+pub use manager::{ManagerProbe, ScanProbe, ScanSharingManager, StartDecision, UpdateOutcome};
+pub use obs::{MetricsRegistry, MetricsSnapshot};
 pub use scan::{Location, ObjectId, QueryPriority, ScanDesc, ScanId, ScanKind};
 pub use stats::SharingStats;
 

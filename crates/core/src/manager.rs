@@ -18,13 +18,14 @@
 //! `scanshare-bench` confirm the same for this implementation.
 
 use parking_lot::Mutex;
-use scanshare_storage::{PagePriority, SimTime};
+use scanshare_storage::{PagePriority, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::anchor::AnchorTable;
+use crate::config::PlacementStrategy;
 use crate::config::SharingConfig;
 use crate::grouping::{find_leaders_trailers, GroupInfo, Groups, Role};
-use crate::config::PlacementStrategy;
 use crate::placement::{best_start_optimal, best_start_practical, Trace};
 use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanState};
 use crate::stats::SharingStats;
@@ -82,6 +83,52 @@ pub struct UpdateOutcome {
     pub priority: PagePriority,
     /// The scan's current role, for diagnostics.
     pub role: Role,
+}
+
+/// Point-in-time introspection of one ongoing scan — the per-scan gauges
+/// the observability layer samples: where the scan is, how fast it moves,
+/// and how much of its fairness-cap slowdown budget is already spent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanProbe {
+    /// The scan.
+    pub id: ScanId,
+    /// Current role in its group.
+    pub role: Role,
+    /// Pages left in the scan range (estimate).
+    pub remaining_pages: u64,
+    /// Recent speed in pages/second.
+    pub speed: f64,
+    /// Total throttle wait injected so far.
+    pub accumulated_slowdown: SimDuration,
+    /// The fairness-cap budget (`fairness_cap × est_time`, priority-scaled
+    /// under dynamic fairness).
+    pub slowdown_budget: SimDuration,
+    /// Fraction of the budget spent, in `[0, 1]` (1.0 once exhausted).
+    pub slowdown_frac: f64,
+    /// Whether the scan hit the cap and is permanently exempt.
+    pub throttle_exempt: bool,
+}
+
+/// Point-in-time introspection of the whole manager: the formed groups
+/// (with leader–trailer extents) and every ongoing scan's throttle state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ManagerProbe {
+    /// Current groups, singletons included, in anchor order.
+    pub groups: Vec<GroupInfo>,
+    /// Per-scan state, in scan-id order.
+    pub scans: Vec<ScanProbe>,
+}
+
+impl ManagerProbe {
+    /// Number of multi-member groups (actively shared page streams).
+    pub fn shared_groups(&self) -> usize {
+        self.groups.iter().filter(|g| g.members.len() > 1).count()
+    }
+
+    /// Largest leader–trailer distance over all groups, in pages.
+    pub fn max_extent(&self) -> u64 {
+        self.groups.iter().map(|g| g.extent).max().unwrap_or(0)
+    }
 }
 
 struct FinishedScan {
@@ -162,15 +209,36 @@ impl ScanSharingManager {
 
         // Resolve the anchor/offset the new scan registers with.
         let (anchor, offset, location) = match (&decision, desc.kind) {
-            (StartDecision::JoinAt { location, scan: Some(other), .. }, _) => {
+            (
+                StartDecision::JoinAt {
+                    location,
+                    scan: Some(other),
+                    ..
+                },
+                _,
+            ) => {
                 let o = &inner.scans[other];
                 (o.anchor, o.anchor_offset, *location)
             }
-            (StartDecision::JoinAt { location, scan: None, .. }, ScanKind::Table) => {
+            (
+                StartDecision::JoinAt {
+                    location,
+                    scan: None,
+                    ..
+                },
+                ScanKind::Table,
+            ) => {
                 let a = Self::table_anchor(&mut inner, desc.object);
                 (a, location.pos as i64, *location)
             }
-            (StartDecision::JoinAt { location, scan: None, .. }, ScanKind::Index) => {
+            (
+                StartDecision::JoinAt {
+                    location,
+                    scan: None,
+                    ..
+                },
+                ScanKind::Index,
+            ) => {
                 // Joining a finished scan: its group is gone, so the new
                 // scan founds a fresh anchor at that location.
                 (inner.anchors.fresh(), 0, *location)
@@ -196,10 +264,9 @@ impl ScanSharingManager {
                 // ongoing scans exist; the last-finished special case
                 // only fires when none do. Disjoint, so attribution by
                 // presence of ongoing same-kind scans is exact.
-                let any_ongoing = inner
-                    .scans
-                    .values()
-                    .any(|s| s.desc.object == desc.object && s.desc.kind == desc.kind && s.id != id);
+                let any_ongoing = inner.scans.values().any(|s| {
+                    s.desc.object == desc.object && s.desc.kind == desc.kind && s.id != id
+                });
                 if any_ongoing {
                     inner.stats.scans_placed_optimal += 1;
                 } else {
@@ -253,9 +320,7 @@ impl ScanSharingManager {
                 .any(|s| s.desc.object == desc.object && s.desc.kind == desc.kind);
             if !any_ongoing {
                 if let Some(fin) = inner.last_finished.get(&desc.object) {
-                    let still_cached = inner
-                        .total_pages_advanced
-                        .saturating_sub(fin.churn_at_end)
+                    let still_cached = inner.total_pages_advanced.saturating_sub(fin.churn_at_end)
                         < self.cfg.pool_pages;
                     if still_cached
                         && fin.kind == desc.kind
@@ -294,8 +359,7 @@ impl ScanSharingManager {
         // axis (page numbers), so the O(|S|^3) interesting-locations
         // search of §6.2 can place the new scan anywhere in its range,
         // not just at a member's position.
-        if self.cfg.placement_strategy == PlacementStrategy::Optimal
-            && desc.kind == ScanKind::Table
+        if self.cfg.placement_strategy == PlacementStrategy::Optimal && desc.kind == ScanKind::Table
         {
             let traces: Vec<Trace> = members
                 .iter()
@@ -516,6 +580,46 @@ impl ScanSharingManager {
     pub fn groups(&self) -> Vec<GroupInfo> {
         let inner = self.inner.lock();
         inner.compute_groups(self.cfg.pool_pages).groups
+    }
+
+    /// Full introspection snapshot: formed groups plus every scan's
+    /// speed, remaining work, and slowdown-vs-cap accounting. This is
+    /// what the engine's interval sampler reads to emit the per-group
+    /// distance and per-scan slowdown series.
+    pub fn probe(&self) -> ManagerProbe {
+        let inner = self.inner.lock();
+        let groups = inner.compute_groups(self.cfg.pool_pages);
+        let mut scans: Vec<ScanProbe> = inner
+            .scans
+            .values()
+            .map(|s| {
+                let budget = throttle::slowdown_budget(&self.cfg, &s.desc);
+                let frac = if budget == SimDuration::ZERO {
+                    if s.accumulated_slowdown == SimDuration::ZERO {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    (s.accumulated_slowdown.as_micros() as f64 / budget.as_micros() as f64).min(1.0)
+                };
+                ScanProbe {
+                    id: s.id,
+                    role: groups.role(s.id).unwrap_or(Role::Singleton),
+                    remaining_pages: s.remaining_pages,
+                    speed: s.speed,
+                    accumulated_slowdown: s.accumulated_slowdown,
+                    slowdown_budget: budget,
+                    slowdown_frac: frac,
+                    throttle_exempt: s.throttle_exempt,
+                }
+            })
+            .collect();
+        scans.sort_by_key(|p| p.id);
+        ManagerProbe {
+            groups: groups.groups,
+            scans,
+        }
     }
 
     /// Number of ongoing scans.
@@ -869,6 +973,40 @@ mod tests {
                 back_up_pages: 0
             }
         );
+    }
+
+    #[test]
+    fn probe_reports_groups_and_slowdown_budget() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        // Leader sprints ahead far enough to be throttled.
+        m.update_location(s1, t2, Location::new(700, 700), 200);
+        m.update_location(s2, t2, Location::new(540, 540), 40);
+        let p = m.probe();
+        assert_eq!(p.scans.len(), 2);
+        assert_eq!(p.shared_groups(), 1);
+        let g = p.groups.iter().find(|g| g.members.len() == 2).unwrap();
+        assert_eq!(g.extent, 160);
+        assert_eq!(p.max_extent(), 160);
+        let leader = p.scans.iter().find(|s| s.id == s1).unwrap();
+        assert_eq!(leader.role, Role::Leader);
+        // Budget = 0.8 * 100s; some of it was just spent on a wait.
+        assert_eq!(leader.slowdown_budget, SimDuration::from_secs(80));
+        assert!(leader.accumulated_slowdown > SimDuration::ZERO);
+        assert!(leader.slowdown_frac > 0.0 && leader.slowdown_frac < 1.0);
+        assert!(!leader.throttle_exempt);
+        let trailer = p.scans.iter().find(|s| s.id == s2).unwrap();
+        assert_eq!(trailer.role, Role::Trailer);
+        assert_eq!(trailer.accumulated_slowdown, SimDuration::ZERO);
+        assert_eq!(trailer.slowdown_frac, 0.0);
+        // The probe is serializable (the engine embeds it in artifacts).
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ManagerProbe = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]

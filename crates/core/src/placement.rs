@@ -319,7 +319,10 @@ pub fn best_start_optimal(
             member: usize::MAX,
             estimate,
         };
-        if best.map(|b| c.estimate.reads < b.estimate.reads).unwrap_or(true) {
+        if best
+            .map(|b| c.estimate.reads < b.estimate.reads)
+            .unwrap_or(true)
+        {
             best = Some(c);
         }
     }
@@ -452,17 +455,12 @@ mod tests {
             Trace::new(900.0, 200.0, 2500.0),
         ];
         let practical = best_start_practical(&members, 100.0, 1000.0, 100.0);
-        let optimal =
-            best_start_optimal(&members, 100.0, 1000.0, 100.0, (0.0, 2000.0)).unwrap();
+        let optimal = best_start_optimal(&members, 100.0, 1000.0, 100.0, (0.0, 2000.0)).unwrap();
         if let Some(p) = practical {
             // The optimal search includes every member position (center
             // candidates at t=0), so it can only do better or equal.
             let p_end = p.start + 1000.0;
-            let p_est = calculate_reads(
-                &members,
-                Trace::new(p.start, 100.0, p_end),
-                100.0,
-            );
+            let p_est = calculate_reads(&members, Trace::new(p.start, 100.0, p_end), 100.0);
             assert!(optimal.estimate.reads <= p_est.reads + 1.0);
         }
     }
@@ -475,8 +473,7 @@ mod tests {
     #[test]
     fn optimal_respects_the_feasible_range() {
         let members = [Trace::new(-500.0, 100.0, 1000.0)];
-        let best =
-            best_start_optimal(&members, 100.0, 500.0, 50.0, (0.0, 400.0)).unwrap();
+        let best = best_start_optimal(&members, 100.0, 500.0, 50.0, (0.0, 400.0)).unwrap();
         assert!(best.start >= 0.0 && best.start <= 400.0);
     }
 

@@ -15,12 +15,29 @@
 use scanshare_storage::SimDuration;
 
 use crate::config::SharingConfig;
-use crate::scan::ScanState;
+use crate::scan::{ScanDesc, ScanState};
+
+/// Total slowdown a scan may be made to absorb under the fairness cap:
+/// `fairness_cap × estimated scan time`, scaled by the owning query's
+/// priority when dynamic fairness is on. This is the denominator of the
+/// "slowdown vs the 80 % cap" gauge the observability layer exports.
+pub fn slowdown_budget(cfg: &SharingConfig, desc: &ScanDesc) -> SimDuration {
+    let cap = if cfg.dynamic_fairness {
+        (cfg.fairness_cap * desc.priority.fairness_factor()).min(1.0)
+    } else {
+        cfg.fairness_cap
+    };
+    SimDuration::from_micros((cap * desc.est_time.as_micros() as f64) as u64)
+}
 
 /// The wait needed for the trailer to close the excess gap, given the
 /// trailer keeps moving at `trailer_speed` pages/second while the leader
 /// stands still. Clamped to `cfg.max_wait`.
-pub(crate) fn raw_wait(cfg: &SharingConfig, distance_pages: u64, trailer_speed: f64) -> SimDuration {
+pub(crate) fn raw_wait(
+    cfg: &SharingConfig,
+    distance_pages: u64,
+    trailer_speed: f64,
+) -> SimDuration {
     let threshold = cfg.throttle_threshold_pages();
     if distance_pages <= threshold {
         return SimDuration::ZERO;
@@ -48,15 +65,9 @@ pub(crate) fn throttle(
     if wait == SimDuration::ZERO {
         return SimDuration::ZERO;
     }
-    // Dynamic fairness (the paper's future-work extension): scale the
-    // cap by the owning query's priority class.
-    let cap = if cfg.dynamic_fairness {
-        (cfg.fairness_cap * scan.desc.priority.fairness_factor()).min(1.0)
-    } else {
-        cfg.fairness_cap
-    };
-    let budget_us = (cap * scan.desc.est_time.as_micros() as f64) as u64;
-    let budget = SimDuration::from_micros(budget_us).saturating_sub(scan.accumulated_slowdown);
+    // Dynamic fairness (the paper's future-work extension): the budget
+    // scales the cap by the owning query's priority class.
+    let budget = slowdown_budget(cfg, &scan.desc).saturating_sub(scan.accumulated_slowdown);
     if budget == SimDuration::ZERO {
         // "If a SISCAN was slowed down for more than 80% of its estimated
         // total scan time, it is not slowed down anymore until it
@@ -72,8 +83,8 @@ pub(crate) fn throttle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind};
     use crate::anchor::AnchorId;
+    use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind};
     use scanshare_storage::SimTime;
 
     fn cfg() -> SharingConfig {

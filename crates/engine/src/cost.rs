@@ -84,6 +84,18 @@ pub struct EngineConfig {
     pub share_table_scans: bool,
     /// Let index scans participate in sharing (the VLDB 2007 extension).
     pub share_index_scans: bool,
+    /// Virtual-time interval at which the run's observability sampler
+    /// records pool hit-ratio, eviction, seek-distance, per-group
+    /// distance, and per-scan slowdown series into the metrics registry.
+    /// Zero disables interval sampling (aggregates are still recorded).
+    #[serde(default = "default_metrics_interval")]
+    pub metrics_interval: SimDuration,
+}
+
+/// Serde default for [`EngineConfig::metrics_interval`], so specs written
+/// before the observability layer still deserialize.
+fn default_metrics_interval() -> SimDuration {
+    SimDuration::from_millis(100)
 }
 
 impl Default for EngineConfig {
@@ -98,6 +110,7 @@ impl Default for EngineConfig {
             seq_ring_pages: 32,
             share_table_scans: true,
             share_index_scans: true,
+            metrics_interval: default_metrics_interval(),
         }
     }
 }

@@ -7,10 +7,11 @@
 //! scans), [`ExecWorld::run_cpu`] to occupy a CPU, and
 //! [`ExecWorld::release_pages`] to unpin with the manager's priority.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use scanshare::obs::{Histogram, MetricsRegistry};
 use scanshare::ScanSharingManager;
 use scanshare_storage::{
     BufferPool, DiskArray, FileStore, FixOutcome, PageBuf, PageId, PagePriority, SimDuration,
@@ -50,6 +51,13 @@ pub struct ExecWorld<'a> {
     pub cfg: EngineConfig,
     /// Optional structured event log.
     pub tracer: Option<crate::trace::Tracer>,
+    /// Shared metrics registry every layer records into; snapshotted
+    /// into the run report.
+    pub metrics: MetricsRegistry,
+    /// Latency of each physical read request, issue to completion (µs).
+    read_hist: Histogram,
+    /// Each injected throttle wait (µs) — recorded by the scan executor.
+    pub(crate) throttle_hist: Histogram,
     cpus: BinaryHeap<Reverse<u64>>,
     /// When each resident page became (or becomes) available — lets a
     /// scan ride an in-flight read issued by another scan instead of
@@ -72,8 +80,15 @@ impl<'a> ExecWorld<'a> {
         cfg: EngineConfig,
         mgr: Option<Arc<ScanSharingManager>>,
     ) -> Self {
-        let disk = DiskArray::new(cfg.disk.clone(), cfg.n_disks.max(1), cfg.extent_pages.max(1));
+        let disk = DiskArray::new(
+            cfg.disk.clone(),
+            cfg.n_disks.max(1),
+            cfg.extent_pages.max(1),
+        );
         let cpus = (0..cfg.n_cpus).map(|_| Reverse(0u64)).collect();
+        let metrics = MetricsRegistry::new();
+        let read_hist = metrics.histogram("disk.read_us");
+        let throttle_hist = metrics.histogram("throttle.wait_us");
         ExecWorld {
             store,
             disk,
@@ -81,6 +96,9 @@ impl<'a> ExecWorld<'a> {
             mgr,
             cfg,
             tracer: None,
+            metrics,
+            read_hist,
+            throttle_hist,
             cpus,
             available_at: HashMap::new(),
             user_time: SimDuration::ZERO,
@@ -93,7 +111,11 @@ impl<'a> ExecWorld<'a> {
     /// `now`. Misses are grouped into physically-contiguous runs, each
     /// serviced as one disk request. Pages stay pinned until
     /// [`ExecWorld::release_pages`].
-    pub fn fetch_extent(&mut self, now: SimTime, page_ids: &[PageId]) -> StorageResult<FetchResult> {
+    pub fn fetch_extent(
+        &mut self,
+        now: SimTime,
+        page_ids: &[PageId],
+    ) -> StorageResult<FetchResult> {
         let mut ready = now;
         let mut pages = Vec::with_capacity(page_ids.len());
         let mut hits = 0u64;
@@ -126,6 +148,8 @@ impl<'a> ExecWorld<'a> {
             let (first, phys) = misses[i];
             let _ = first;
             let completion = self.disk.read(now, phys, (j - i) as u32);
+            self.read_hist
+                .record(completion.done.since(now).as_micros());
             requests += 1;
             ready = ready.max(completion.done);
             for &(id, _) in &misses[i..j] {
@@ -170,6 +194,8 @@ impl<'a> ExecWorld<'a> {
             }
             let (_, phys) = misses[i];
             let completion = self.disk.read(now, phys, (j - i) as u32);
+            self.read_hist
+                .record(completion.done.since(now).as_micros());
             self.sys_time += self.cfg.sys_per_request;
             for &(id, _) in &misses[i..j] {
                 let buf = self.store.read_page(id)?;
@@ -211,9 +237,7 @@ impl<'a> ExecWorld<'a> {
 
     /// Derive the run-level CPU breakdown, given the run's end time.
     pub fn breakdown(&self, makespan: SimDuration) -> Breakdown {
-        let capacity = SimDuration::from_micros(
-            makespan.as_micros() * self.cfg.n_cpus as u64,
-        );
+        let capacity = SimDuration::from_micros(makespan.as_micros() * self.cfg.n_cpus as u64);
         let busy = self.user_time + self.sys_time;
         let idle_raw = capacity.saturating_sub(busy);
         // A CPU can only be "waiting on I/O" while idle; clamp.
@@ -231,8 +255,8 @@ impl<'a> ExecWorld<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scanshare_storage::{PoolConfig, ReplacementPolicy, PAGE_SIZE};
     use bytes::Bytes;
+    use scanshare_storage::{PoolConfig, ReplacementPolicy, PAGE_SIZE};
 
     fn store_with_pages(n: u32) -> FileStore {
         let mut s = FileStore::new(16);
@@ -251,7 +275,9 @@ mod tests {
     }
 
     fn pids(n: u32) -> Vec<PageId> {
-        (0..n).map(|p| PageId::new(scanshare_storage::FileId(0), p)).collect()
+        (0..n)
+            .map(|p| PageId::new(scanshare_storage::FileId(0), p))
+            .collect()
     }
 
     #[test]
@@ -294,7 +320,8 @@ mod tests {
         assert_eq!(r2.ready, r1.ready);
         w.release_pages(&r1.pages, PagePriority::Normal).unwrap();
         w.release_pages(&r2.pages, PagePriority::Normal).unwrap();
-        w.release_pages(&r1.pages, PagePriority::Normal).unwrap_err();
+        w.release_pages(&r1.pages, PagePriority::Normal)
+            .unwrap_err();
     }
 
     #[test]

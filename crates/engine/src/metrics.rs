@@ -1,7 +1,10 @@
 //! Run-level and query-level measurements — the engine's `iostat`.
 
+use scanshare::MetricsSnapshot;
 use scanshare_storage::{DiskStats, PoolStats, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
+
+use crate::trace::TraceRecord;
 
 /// CPU usage breakdown over a run, mirroring the paper's Figures 15/16
 /// ("distribution of CPU time spent in user time, system time, idling,
@@ -83,10 +86,23 @@ pub struct RunReport {
     pub read_series: TimeSeries,
     /// Seeks per time bucket (Figure 18).
     pub seek_series: TimeSeries,
+    /// Head-travel distance per time bucket, in pages.
+    #[serde(default)]
+    pub seek_distance_series: TimeSeries,
     /// Buffer pool counters.
     pub pool: PoolStats,
     /// Sharing-manager decision counters (all zero in base mode).
     pub sharing: scanshare::SharingStats,
+    /// Observability snapshot taken at the end of the run: counters,
+    /// latency histograms, and the interval-sampled time series
+    /// (per-group leader-trailer distance, per-scan slowdown vs the
+    /// fairness cap, pool hit ratio, evictions, seek distance).
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
+    /// The retained trace events, when a tracer was attached (empty
+    /// otherwise) — what `scanshare trace` replays.
+    #[serde(default)]
+    pub trace: Vec<TraceRecord>,
 }
 
 impl RunReport {

@@ -50,7 +50,8 @@ pub fn save(db: &Database, path: impl AsRef<Path>) -> EngineResult<()> {
     let store = db.store();
     let catalog = CatalogOnDisk {
         extent_pages: store.volume().extent_pages(),
-        tables: db.table_names()
+        tables: db
+            .table_names()
             .iter()
             .map(|n| db.table(n).expect("listed table").clone())
             .collect(),
@@ -69,7 +70,8 @@ pub fn save(db: &Database, path: impl AsRef<Path>) -> EngineResult<()> {
     let file = std::fs::File::create(path).map_err(io_err)?;
     let mut w = BufWriter::new(file);
     w.write_all(MAGIC).map_err(io_err)?;
-    w.write_all(&(json.len() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(json.len() as u64).to_le_bytes())
+        .map_err(io_err)?;
     w.write_all(&json).map_err(io_err)?;
     for f in 0..store.num_files() {
         let n = store.num_pages(FileId(f)).expect("file exists");
@@ -135,9 +137,9 @@ pub fn load(path: impl AsRef<Path>) -> EngineResult<Database> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::{CpuClass, EngineConfig};
     use crate::query::{Access, AggSpec, Pred, Query, ScanSpec};
     use crate::workload::{run_workload, SharingMode, Stream, WorkloadSpec};
-    use crate::cost::{CpuClass, EngineConfig};
     use scanshare_relstore::{ColType, Column, Schema, Value};
     use scanshare_storage::SimDuration;
 
@@ -165,7 +167,10 @@ mod tests {
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("scanshare_persist_{name}_{}.db", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "scanshare_persist_{name}_{}.db",
+            std::process::id()
+        ))
     }
 
     #[test]

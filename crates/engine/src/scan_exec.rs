@@ -337,11 +337,8 @@ impl ScanExec {
 
     /// The scan's answer (valid once finished).
     pub fn result(&self) -> QueryResult {
-        let mut groups: Vec<(i64, crate::query::GroupAgg)> = self
-            .groups
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let mut groups: Vec<(i64, crate::query::GroupAgg)> =
+            self.groups.iter().map(|(k, v)| (*k, v.clone())).collect();
         groups.sort_by_key(|g| g.0);
         QueryResult {
             count: self.count,
@@ -428,7 +425,11 @@ impl ScanExec {
     /// Advance by one extent. Returns the time at which the scan may take
     /// its next step, or `None` once it has finished (the manager is
     /// deregistered at that point).
-    pub fn step(&mut self, world: &mut ExecWorld<'_>, now: SimTime) -> EngineResult<Option<SimTime>> {
+    pub fn step(
+        &mut self,
+        world: &mut ExecWorld<'_>,
+        now: SimTime,
+    ) -> EngineResult<Option<SimTime>> {
         if self.finished() {
             if let (Some(id), Some(mgr)) = (self.mgr_scan.take(), world.mgr.clone()) {
                 mgr.end_scan(id, now);
@@ -538,10 +539,9 @@ impl ScanExec {
         if self.needs_wrap {
             if let (Some(id), Some(mgr)) = (self.mgr_scan, world.mgr.clone()) {
                 let first_loc = match &self.plan {
-                    Plan::Table { .. } => Location::new(
-                        page_ids[0].page as i64,
-                        page_ids[0].page as u64,
-                    ),
+                    Plan::Table { .. } => {
+                        Location::new(page_ids[0].page as i64, page_ids[0].page as u64)
+                    }
                     Plan::Index { entries, .. } | Plan::Rid { entries, .. } => {
                         Location::new(entries[0].key, entries[0].payload)
                     }
@@ -599,12 +599,12 @@ impl ScanExec {
                     };
                     if self.pred.eval(&row) {
                         Self::accumulate(
-                                &self.agg,
-                                &mut self.count,
-                                &mut self.sums,
-                                &mut self.groups,
-                                &row,
-                            );
+                            &self.agg,
+                            &mut self.count,
+                            &mut self.sums,
+                            &mut self.groups,
+                            &row,
+                        );
                     }
                 }
             }
@@ -630,6 +630,7 @@ impl ScanExec {
             grouped = out.role != scanshare::Role::Singleton;
             self.metrics.throttle_wait += wait;
             if wait > SimDuration::ZERO {
+                world.throttle_hist.record(wait.as_micros());
                 if let Some(tr) = &world.tracer {
                     tr.record(
                         done,
@@ -662,9 +663,7 @@ impl ScanExec {
         // Advance.
         match &mut self.plan {
             Plan::Table { visited, .. } => *visited += units as u32,
-            Plan::Index { visited, .. } | Plan::Rid { visited, .. } => {
-                *visited += units as usize
-            }
+            Plan::Index { visited, .. } | Plan::Rid { visited, .. } => *visited += units as usize,
         }
         if wrap_after {
             self.needs_wrap = true;
@@ -724,7 +723,11 @@ mod tests {
         ExecWorld::new(db.store(), pool, EngineConfig::default(), None)
     }
 
-    fn run_to_end(db: &Database, world: &mut ExecWorld<'_>, spec: &ScanSpec) -> (QueryResult, ScanMetrics) {
+    fn run_to_end(
+        db: &Database,
+        world: &mut ExecWorld<'_>,
+        spec: &ScanSpec,
+    ) -> (QueryResult, ScanMetrics) {
         run_from(db, world, spec, SimTime::ZERO)
     }
 
@@ -884,10 +887,7 @@ mod tests {
             t = next;
         }
         assert_eq!(scan.result(), r1, "same answer with prefetch");
-        assert!(
-            t < off_done.max(t) || t.as_micros() > 0,
-            "scan completes"
-        );
+        assert!(t < off_done.max(t) || t.as_micros() > 0, "scan completes");
         // With prefetch the scan finishes sooner than without.
         let off_elapsed = {
             let mut w = world(&db);
@@ -915,7 +915,10 @@ mod tests {
         assert_eq!(r.count, 4000);
         assert!((r.sums[0] - 4000.0).abs() < 1e-9);
         assert!(m.physical_reads > 0);
-        assert_eq!(m.logical_reads, db.table("orders").unwrap().num_pages() as u64);
+        assert_eq!(
+            m.logical_reads,
+            db.table("orders").unwrap().num_pages() as u64
+        );
     }
 
     #[test]

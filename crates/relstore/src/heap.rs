@@ -341,7 +341,10 @@ mod tests {
         let rows_per_page = (PAGE_SIZE - HEADER_LEN) / (s.row_width() + SLOT_LEN);
         for p in 0..heap.num_pages - 1 {
             let bytes = store.read_page(PageId::new(heap.file, p)).unwrap();
-            assert_eq!(HeapPage::new(&bytes).unwrap().num_rows() as usize, rows_per_page);
+            assert_eq!(
+                HeapPage::new(&bytes).unwrap().num_rows() as usize,
+                rows_per_page
+            );
         }
     }
 

@@ -338,7 +338,10 @@ mod tests {
         let (store, t) = build(&[], 2);
         assert_eq!(t.num_blocks, 0);
         assert_eq!(t.num_rows, 0);
-        assert_eq!(t.blocks_for_range(&store, i64::MIN, i64::MAX).unwrap(), vec![]);
+        assert_eq!(
+            t.blocks_for_range(&store, i64::MIN, i64::MAX).unwrap(),
+            vec![]
+        );
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl DiskArray {
             total.requests += s.requests;
             total.pages_read += s.pages_read;
             total.seeks += s.seeks;
+            total.seek_distance_pages += s.seek_distance_pages;
             total.busy += s.busy;
         }
         total
@@ -96,6 +97,12 @@ impl DiskArray {
     /// Seeks per time bucket, summed over the array.
     pub fn seek_series(&self) -> TimeSeries {
         self.merged(|d| d.seek_series())
+    }
+
+    /// Head-travel distance per time bucket (pages), summed over the
+    /// array.
+    pub fn seek_distance_series(&self) -> TimeSeries {
+        self.merged(|d| d.seek_distance_series())
     }
 
     fn merged<'a>(&'a self, f: impl Fn(&'a Disk) -> &'a TimeSeries) -> TimeSeries {

@@ -48,6 +48,10 @@ pub struct DiskStats {
     pub pages_read: u64,
     /// Number of head movements.
     pub seeks: u64,
+    /// Total distance the head travelled over all seeks, in pages
+    /// (|target − resting position|; the first request travels nothing).
+    #[serde(default)]
+    pub seek_distance_pages: u64,
     /// Total time the disk spent servicing requests.
     pub busy: SimDuration,
 }
@@ -88,6 +92,7 @@ pub struct Disk {
     stats: DiskStats,
     read_series: TimeSeries,
     seek_series: TimeSeries,
+    seek_distance_series: TimeSeries,
 }
 
 impl Disk {
@@ -101,6 +106,7 @@ impl Disk {
             stats: DiskStats::default(),
             read_series: TimeSeries::new(bucket),
             seek_series: TimeSeries::new(bucket),
+            seek_distance_series: TimeSeries::new(bucket),
         }
     }
 
@@ -111,9 +117,12 @@ impl Disk {
         let start = now.max(self.free_at);
         let seeked = self.head != Some(addr);
         let mut service = self.cfg.transfer_per_page.times(npages as u64);
+        let mut seek_distance = 0u64;
         if seeked {
             service += self.cfg.seek;
             self.stats.seeks += 1;
+            seek_distance = self.head.unwrap_or(addr).abs_diff(addr);
+            self.stats.seek_distance_pages += seek_distance;
         }
         let done = start + service;
         self.head = Some(addr + npages as u64);
@@ -124,8 +133,13 @@ impl Disk {
         self.read_series.add(done, npages as u64);
         if seeked {
             self.seek_series.add(done, 1);
+            self.seek_distance_series.add(done, seek_distance);
         }
-        ReadCompletion { start, done, seeked }
+        ReadCompletion {
+            start,
+            done,
+            seeked,
+        }
     }
 
     /// Aggregate counters so far.
@@ -141,6 +155,11 @@ impl Disk {
     /// Seeks per time bucket (Figure 18's series).
     pub fn seek_series(&self) -> &TimeSeries {
         &self.seek_series
+    }
+
+    /// Head-travel distance per time bucket, in pages.
+    pub fn seek_distance_series(&self) -> &TimeSeries {
+        &self.seek_distance_series
     }
 
     /// The time at which the disk becomes idle.
@@ -219,6 +238,24 @@ mod tests {
         d.read(SimTime::from_micros(999_950), 100, 1);
         assert_eq!(d.read_series().buckets(), &[2, 1]);
         assert_eq!(d.seek_series().buckets(), &[1, 1]);
+    }
+
+    #[test]
+    fn seek_distance_tracks_head_travel() {
+        let mut d = disk();
+        // First request: the head has no resting position, distance 0.
+        d.read(SimTime::ZERO, 100, 4);
+        assert_eq!(d.stats().seek_distance_pages, 0);
+        // Head rests at 104; jumping to 4 travels 100 pages.
+        d.read(SimTime::from_micros(5000), 4, 1);
+        assert_eq!(d.stats().seek_distance_pages, 100);
+        // Sequential continuation: no seek, no distance.
+        d.read(SimTime::from_micros(10_000), 5, 3);
+        assert_eq!(d.stats().seek_distance_pages, 100);
+        // Backwards jump from 8 to 0 travels 8.
+        d.read(SimTime::from_micros(15_000), 0, 1);
+        assert_eq!(d.stats().seek_distance_pages, 108);
+        assert_eq!(d.seek_distance_series().total(), 108);
     }
 
     #[test]

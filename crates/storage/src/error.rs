@@ -38,7 +38,10 @@ impl fmt::Display for StorageError {
             }
             StorageError::PinViolation(id) => write!(f, "pin/unpin violation on page {id}"),
             StorageError::PageOverflow { needed, available } => {
-                write!(f, "page overflow: needed {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "page overflow: needed {needed} bytes, {available} available"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
         }

@@ -241,14 +241,14 @@ impl BufferPool {
             return Ok(());
         }
         if self.frames.len() >= self.cfg.capacity {
-            let victim = self
-                .candidates
-                .iter()
-                .next()
-                .copied()
-                .ok_or(StorageError::PoolExhausted {
-                    capacity: self.cfg.capacity,
-                })?;
+            let victim =
+                self.candidates
+                    .iter()
+                    .next()
+                    .copied()
+                    .ok_or(StorageError::PoolExhausted {
+                        capacity: self.cfg.capacity,
+                    })?;
             self.candidates.remove(&victim);
             self.frames.remove(&victim.2);
             self.stats.evictions += 1;

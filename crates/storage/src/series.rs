@@ -16,6 +16,15 @@ pub struct TimeSeries {
     buckets: Vec<u64>,
 }
 
+impl Default for TimeSeries {
+    /// An empty series with one-second buckets (the disk model's default
+    /// bucket width). Exists so reports can `#[serde(default)]` series
+    /// fields added after their artifacts were written.
+    fn default() -> Self {
+        TimeSeries::new(1_000_000)
+    }
+}
+
 impl TimeSeries {
     /// Create a series with the given bucket width in microseconds.
     pub fn new(bucket_us: u64) -> Self {

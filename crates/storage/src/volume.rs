@@ -43,14 +43,11 @@ impl Volume {
         let within = (id.page % self.extent_pages) as u64;
         let extent_pages = self.extent_pages as u64;
         let next_base = &mut self.next_base;
-        let base = *self
-            .extents
-            .entry((id.file, extent_no))
-            .or_insert_with(|| {
-                let b = *next_base;
-                *next_base += extent_pages;
-                b
-            });
+        let base = *self.extents.entry((id.file, extent_no)).or_insert_with(|| {
+            let b = *next_base;
+            *next_base += extent_pages;
+            b
+        });
         base + within
     }
 
@@ -71,11 +68,8 @@ impl Volume {
     /// The allocation state as `(file, extent_no, base)` rows, sorted —
     /// used to persist a volume.
     pub fn entries(&self) -> Vec<(FileId, u32, u64)> {
-        let mut out: Vec<(FileId, u32, u64)> = self
-            .extents
-            .iter()
-            .map(|(&(f, e), &b)| (f, e, b))
-            .collect();
+        let mut out: Vec<(FileId, u32, u64)> =
+            self.extents.iter().map(|(&(f, e), &b)| (f, e, b)).collect();
         out.sort();
         out
     }

@@ -7,9 +7,8 @@
 //! random ship-month order so that the cells' blocks interleave on disk,
 //! which is what makes a key-ordered block index scan pay seeks.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use scanshare_engine::Database;
+use scanshare_prng::Rng;
 use scanshare_relstore::{ColType, Column, Schema, Value};
 
 /// Column indexes of the `lineitem` table.
@@ -172,7 +171,7 @@ pub fn customer_schema() -> Schema {
 
 /// Generate the database.
 pub fn generate(cfg: &TpchConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut db = Database::new(cfg.block_pages.max(16));
 
     // lineitem: MDC on shipmonth, inserted in random month order.
@@ -201,7 +200,7 @@ pub fn generate(cfg: &TpchConfig) -> Database {
     db.create_mdc_table("lineitem", lineitem_schema(), cfg.block_pages, li_rows)
         .expect("lineitem load");
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f72646572);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x6f72646572);
     let n_orders = cfg.orders_rows();
     let orders_rows = (0..n_orders).map(|i| {
         vec![
@@ -214,7 +213,7 @@ pub fn generate(cfg: &TpchConfig) -> Database {
     db.create_heap_table("orders", orders_schema(), orders_rows)
         .expect("orders load");
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70617274);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x70617274);
     let part_rows = (0..cfg.part_rows()).map(|i| {
         vec![
             Value::I64(i as i64),
@@ -225,7 +224,7 @@ pub fn generate(cfg: &TpchConfig) -> Database {
     db.create_heap_table("part", part_schema(), part_rows)
         .expect("part load");
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x63757374);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x63757374);
     let cust_rows = (0..cfg.customer_rows()).map(|i| {
         vec![
             Value::I64(i as i64),
@@ -251,7 +250,10 @@ mod tests {
             db.table_names(),
             vec!["customer", "lineitem", "orders", "part"]
         );
-        assert_eq!(db.table("lineitem").unwrap().num_rows(), cfg.lineitem_rows());
+        assert_eq!(
+            db.table("lineitem").unwrap().num_rows(),
+            cfg.lineitem_rows()
+        );
         assert_eq!(db.table("orders").unwrap().num_rows(), cfg.orders_rows());
         let li = db.table("lineitem").unwrap().as_mdc().unwrap();
         assert_eq!(li.block_pages, cfg.block_pages);
@@ -271,8 +273,14 @@ mod tests {
         // Spot-check identical bytes on a few pages.
         let f = a.table("lineitem").unwrap().file();
         for p in [0u32, 7, 19] {
-            let pa = a.store().read_page(scanshare_storage::PageId::new(f, p)).unwrap();
-            let pb = b.store().read_page(scanshare_storage::PageId::new(f, p)).unwrap();
+            let pa = a
+                .store()
+                .read_page(scanshare_storage::PageId::new(f, p))
+                .unwrap();
+            let pb = b
+                .store()
+                .read_page(scanshare_storage::PageId::new(f, p))
+                .unwrap();
             assert_eq!(pa, pb, "page {p} differs");
         }
     }
@@ -286,8 +294,14 @@ mod tests {
         });
         let fa = a.table("lineitem").unwrap().file();
         let fb = b.table("lineitem").unwrap().file();
-        let pa = a.store().read_page(scanshare_storage::PageId::new(fa, 0)).unwrap();
-        let pb = b.store().read_page(scanshare_storage::PageId::new(fb, 0)).unwrap();
+        let pa = a
+            .store()
+            .read_page(scanshare_storage::PageId::new(fa, 0))
+            .unwrap();
+        let pb = b
+            .store()
+            .read_page(scanshare_storage::PageId::new(fb, 0))
+            .unwrap();
         assert_ne!(pa, pb);
     }
 

@@ -18,17 +18,15 @@
 //! Month windows are drawn per stream from the most recent two years —
 //! the warehouse-hotspot access pattern of the papers' introduction.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
 use scanshare_engine::{Access, AggSpec, CpuClass, Pred, Query, ScanSpec};
+use scanshare_prng::Rng;
 
 use crate::gen::lineitem_cols as li;
 
 /// The query names, in template order.
 pub const QUERY_NAMES: [&str; 22] = [
-    "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12", "Q13", "Q14",
-    "Q15", "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
+    "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12", "Q13", "Q14", "Q15",
+    "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
 ];
 
 fn li_index(lo: i64, hi: i64, cpu: CpuClass, pred: Pred) -> ScanSpec {
@@ -76,7 +74,7 @@ fn heap(table: &str, sum_col: usize, cpu: CpuClass) -> ScanSpec {
 }
 
 /// A window of `span` months ending somewhere in the most recent year.
-fn recent_window(rng: &mut StdRng, months: i64, span: i64) -> (i64, i64) {
+fn recent_window(rng: &mut Rng, months: i64, span: i64) -> (i64, i64) {
     let last = months - 1;
     let hi = (last - rng.random_range(0..12.min(months))).max(0);
     let lo = (hi - span + 1).max(0);
@@ -91,7 +89,7 @@ pub fn q1() -> Query {
 /// TPC-H Q6: I/O-bound block index scan over one recent year of
 /// `lineitem` with the classic quantity/discount filter.
 pub fn q6(months: i64, seed: u64) -> Query {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let (lo, hi) = recent_window(&mut rng, months, 12);
     Query::single(
         "Q6",
@@ -109,7 +107,7 @@ pub fn q6(months: i64, seed: u64) -> Query {
 
 /// Build the 22 query instances for one stream (unpermuted, in template
 /// order). `months` is the number of history months in the database.
-pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
+pub fn query_set(months: i64, rng: &mut Rng) -> Vec<Query> {
     use crate::gen::{customer_cols as cc, orders_cols as oc, part_cols as pc};
     let io = CpuClass::io_bound;
     let bal = CpuClass::balanced;
@@ -174,7 +172,10 @@ pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
                 li_index(lo, hi, bal(), Pred::True),
             ]
         }),
-        ("Q9", vec![heap("part", pc::RETAILPRICE, io()), li_full(cpu())]),
+        (
+            "Q9",
+            vec![heap("part", pc::RETAILPRICE, io()), li_full(cpu())],
+        ),
         ("Q10", {
             let (lo, hi) = w(3);
             vec![
@@ -183,10 +184,13 @@ pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
                 li_index(lo, hi, io(), Pred::True),
             ]
         }),
-        ("Q11", vec![
-            heap("part", pc::RETAILPRICE, bal()),
-            heap("customer", cc::ACCTBAL, io()),
-        ]),
+        (
+            "Q11",
+            vec![
+                heap("part", pc::RETAILPRICE, bal()),
+                heap("customer", cc::ACCTBAL, io()),
+            ],
+        ),
         ("Q12", {
             let (lo, hi) = w(12);
             vec![
@@ -213,10 +217,13 @@ pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
             let (lo, hi) = w(3);
             vec![li_index(lo, hi, io(), Pred::True)]
         }),
-        ("Q16", vec![
-            heap("part", pc::RETAILPRICE, io()),
-            heap("customer", cc::ACCTBAL, io()),
-        ]),
+        (
+            "Q16",
+            vec![
+                heap("part", pc::RETAILPRICE, io()),
+                heap("customer", cc::ACCTBAL, io()),
+            ],
+        ),
         ("Q17", {
             let (lo, hi) = w(6);
             vec![
@@ -224,10 +231,10 @@ pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
                 li_index(lo, hi, io(), Pred::True),
             ]
         }),
-        ("Q18", vec![
-            heap("orders", oc::TOTALPRICE, io()),
-            li_full(cpu()),
-        ]),
+        (
+            "Q18",
+            vec![heap("orders", oc::TOTALPRICE, io()), li_full(cpu())],
+        ),
         ("Q19", {
             let (lo, hi) = w(2);
             vec![
@@ -274,9 +281,9 @@ pub fn query_set(months: i64, rng: &mut StdRng) -> Vec<Query> {
 /// permutation (TPC-H prescribes a different query order per stream so
 /// "different queries overlap at different points in time").
 pub fn stream_queries(stream: usize, months: i64, seed: u64) -> Vec<Query> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (stream as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = Rng::seed_from_u64(seed ^ (stream as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let mut queries = query_set(months, &mut rng);
-    queries.shuffle(&mut rng);
+    rng.shuffle(&mut queries);
     queries
 }
 
@@ -303,7 +310,7 @@ mod tests {
     /// 29 table scans."
     #[test]
     fn scan_mix_matches_the_paper() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let queries = query_set(84, &mut rng);
         assert_eq!(queries.len(), 22);
         let (table, index) = scan_mix(&queries);

@@ -71,13 +71,7 @@ mod tests {
         let q = q6(cfg.months as i64, 1);
         // A tiny Q6 runs for ~200 virtual ms; 50 ms staggers keep the
         // three scans overlapping, like the paper's setup.
-        let base = staggered_workload(
-            &db,
-            &q,
-            3,
-            SimDuration::from_millis(50),
-            SharingMode::Base,
-        );
+        let base = staggered_workload(&db, &q, 3, SimDuration::from_millis(50), SharingMode::Base);
         let ss = staggered_workload(
             &db,
             &q,

@@ -54,8 +54,7 @@ fn main() {
         // Slow scan: 250 pages/s -> 16 pages per 64ms.
         t += SimDuration::from_millis(16);
         fast_pos += 16;
-        let out_fast =
-            mgr.update_location(fast, t, Location::new(fast_pos as i64, fast_pos), 16);
+        let out_fast = mgr.update_location(fast, t, Location::new(fast_pos as i64, fast_pos), 16);
         if step % 4 == 3 {
             slow_pos += 16;
             mgr.update_location(slow, t, Location::new(slow_pos as i64, slow_pos), 16);

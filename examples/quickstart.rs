@@ -60,11 +60,7 @@ fn main() {
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");
-    let ss = run_workload(
-        &db,
-        &spec(SharingMode::ScanSharing(SharingConfig::new(0))),
-    )
-    .expect("ss");
+    let ss = run_workload(&db, &spec(SharingMode::ScanSharing(SharingConfig::new(0)))).expect("ss");
 
     // 4. Same answers, less disk.
     println!("\n              {:>12} {:>14}", "base", "scan-sharing");
@@ -81,7 +77,10 @@ fn main() {
         "pages read    {:>12} {:>14}",
         base.disk.pages_read, ss.disk.pages_read
     );
-    println!("seeks         {:>12} {:>14}", base.disk.seeks, ss.disk.seeks);
+    println!(
+        "seeks         {:>12} {:>14}",
+        base.disk.seeks, ss.disk.seeks
+    );
     println!(
         "\nscan-sharing decisions: {} scans joined an ongoing scan,",
         ss.sharing.scans_joined
@@ -90,9 +89,6 @@ fn main() {
         "{} waits injected to keep the group together.",
         ss.sharing.waits_injected
     );
-    assert_eq!(
-        base.queries[0].result.sums[0],
-        ss.queries[0].result.sums[0]
-    );
+    assert_eq!(base.queries[0].result.sums[0], ss.queries[0].result.sums[0]);
     assert!(ss.disk.pages_read <= base.disk.pages_read);
 }

@@ -44,7 +44,10 @@ fn main() {
     .expect("ss");
 
     let gain = |b: f64, s: f64| (1.0 - s / b) * 100.0;
-    println!("\n{:<22} {:>12} {:>14} {:>8}", "metric", "base", "scan-sharing", "gain");
+    println!(
+        "\n{:<22} {:>12} {:>14} {:>8}",
+        "metric", "base", "scan-sharing", "gain"
+    );
     println!(
         "{:<22} {:>11.1}s {:>13.1}s {:>7.1}%",
         "end-to-end",

@@ -51,12 +51,14 @@ fn main() {
     let last = cfg.last_month();
 
     // Six analysts, all inside the last year, different windows.
-    let reports = [("year_review", last - 11, last),
+    let reports = [
+        ("year_review", last - 11, last),
         ("last_quarter", last - 2, last),
         ("last_month", last, last),
         ("h2_review", last - 5, last),
         ("ytd", last - 8, last),
-        ("two_quarters", last - 5, last - 3)];
+        ("two_quarters", last - 5, last - 3),
+    ];
     let streams: Vec<Stream> = reports
         .iter()
         .enumerate()
@@ -73,13 +75,12 @@ fn main() {
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");
-    let ss = run_workload(
-        &db,
-        &spec(SharingMode::ScanSharing(SharingConfig::new(0))),
-    )
-    .expect("ss");
+    let ss = run_workload(&db, &spec(SharingMode::ScanSharing(SharingConfig::new(0)))).expect("ss");
 
-    println!("\n{:<14} {:>11} {:>13} {:>8}", "report", "base (s)", "shared (s)", "gain");
+    println!(
+        "\n{:<14} {:>11} {:>13} {:>8}",
+        "report", "base (s)", "shared (s)", "gain"
+    );
     for (i, &(name, ..)) in reports.iter().enumerate() {
         let b = base.stream_elapsed[i].as_secs_f64();
         let s = ss.stream_elapsed[i].as_secs_f64();

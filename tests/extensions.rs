@@ -87,11 +87,7 @@ fn attach_baseline_trails_full_sharing_on_mixed_speeds() {
         &mk(SharingMode::ScanSharing(SharingConfig::attach_baseline(0))),
     )
     .unwrap();
-    let full = run_workload(
-        &db,
-        &mk(SharingMode::ScanSharing(SharingConfig::new(0))),
-    )
-    .unwrap();
+    let full = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
     assert!(attach.makespan <= base.makespan);
     assert!(
         full.makespan <= attach.makespan,
@@ -179,13 +175,7 @@ fn prefetch_keeps_answers_and_reduces_makespan() {
     let cfg = small_cfg();
     let db = generate(&cfg);
     let q = q6(cfg.months as i64, 4);
-    let spec = staggered_workload(
-        &db,
-        &q,
-        2,
-        SimDuration::from_millis(40),
-        SharingMode::Base,
-    );
+    let spec = staggered_workload(&db, &q, 2, SimDuration::from_millis(40), SharingMode::Base);
     let plain = run_workload(&db, &spec).unwrap();
     let pre = run_workload(
         &db,
@@ -198,10 +188,7 @@ fn prefetch_keeps_answers_and_reduces_makespan() {
         },
     )
     .unwrap();
-    assert_eq!(
-        plain.queries[0].result.count,
-        pre.queries[0].result.count
-    );
+    assert_eq!(plain.queries[0].result.count, pre.queries[0].result.count);
     assert!(pre.makespan <= plain.makespan);
 }
 
@@ -274,10 +261,7 @@ fn rid_scans_share_end_to_end() {
         0,
         (0..100_000u64).map(|i| {
             let scrambled = (i / 1024) * 1024 + ((i * 37) % 1024);
-            vec![
-                Value::I32((scrambled / 100) as i32),
-                Value::F64(1.0),
-            ]
+            vec![Value::I32((scrambled / 100) as i32), Value::F64(1.0)]
         }),
     )
     .unwrap();

@@ -50,11 +50,7 @@ fn figures8_9_sharing_potential() {
 fn figure11_envelope_center_is_best_for_one_scan() {
     let member = Trace::new(1000.0, 100.0, 5000.0);
     let pool = 200.0;
-    let at_center = calculate_reads(
-        &[member],
-        Trace::new(1000.0, 100.0, 4000.0),
-        pool,
-    );
+    let at_center = calculate_reads(&[member], Trace::new(1000.0, 100.0, 4000.0), pool);
     for delta in [300.0, 600.0, 900.0] {
         let off = calculate_reads(
             &[member],

@@ -1,7 +1,9 @@
-//! Property-based tests over the public API: randomized workloads and
-//! data structures must uphold the system's core invariants.
+//! Randomized-but-deterministic property tests over the public API:
+//! workloads and data structures generated from a seeded in-repo PRNG
+//! must uphold the system's core invariants. (Formerly proptest-based;
+//! rewritten against `scanshare-prng` so the suite is hermetic.)
 
-use proptest::prelude::*;
+use scanshare_prng::Rng;
 use scanshare_repro::core::SharingConfig;
 use scanshare_repro::engine::{
     run_workload, Access, AggSpec, CpuClass, Database, EngineConfig, Pred, Query, ScanSpec,
@@ -48,26 +50,21 @@ fn index_query(name: &str, lo: i64, hi: i64) -> Query {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// For any mix of overlapping index scans, scan-sharing computes the
-    /// same answers as the baseline and never does more physical I/O.
-    #[test]
-    fn sharing_is_answer_preserving_and_io_monotone(
-        ranges in proptest::collection::vec((0i64..12, 0i64..12), 2..6),
-        offsets_ms in proptest::collection::vec(0u64..400, 2..6),
-    ) {
-        let db = small_db(12, 30_000);
-        let streams: Vec<Stream> = ranges
-            .iter()
-            .zip(&offsets_ms)
-            .enumerate()
-            .map(|(i, (&(a, b), &off))| {
+/// For any mix of overlapping index scans, scan-sharing computes the
+/// same answers as the baseline and never does more physical I/O.
+#[test]
+fn sharing_is_answer_preserving_and_io_monotone() {
+    let db = small_db(12, 30_000);
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x5ca_0000 + case);
+        let n = rng.random_range(2..6usize);
+        let streams: Vec<Stream> = (0..n)
+            .map(|i| {
+                let (a, b) = (rng.random_range(0i64..12), rng.random_range(0i64..12));
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                 Stream {
                     queries: vec![index_query(&format!("q{i}"), lo, hi)],
-                    start_offset: SimDuration::from_millis(off),
+                    start_offset: SimDuration::from_millis(rng.random_range(0u64..400)),
                 }
             })
             .collect();
@@ -78,33 +75,39 @@ proptest! {
             mode,
         };
         let base = run_workload(&db, &spec(SharingMode::Base)).unwrap();
-        let ss = run_workload(
-            &db,
-            &spec(SharingMode::ScanSharing(SharingConfig::new(0))),
-        )
-        .unwrap();
+        let ss = run_workload(&db, &spec(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
         // Answers identical.
         let mut qb = base.queries.clone();
         let mut qs = ss.queries.clone();
         qb.sort_by_key(|q| q.name.clone());
         qs.sort_by_key(|q| q.name.clone());
         for (b, s) in qb.iter().zip(&qs) {
-            prop_assert_eq!(b.result.count, s.result.count);
+            assert_eq!(b.result.count, s.result.count, "case {case}");
         }
         // Sharing reads at most what base reads, plus a small margin for
         // wrap-phase effects on tiny scans.
-        prop_assert!(
+        assert!(
             ss.disk.pages_read as f64 <= base.disk.pages_read as f64 * 1.05 + 64.0,
-            "ss {} base {}", ss.disk.pages_read, base.disk.pages_read
+            "case {case}: ss {} base {}",
+            ss.disk.pages_read,
+            base.disk.pages_read
         );
     }
+}
 
-    /// The B+ tree agrees with a sorted-vector model for any entry set.
-    #[test]
-    fn btree_matches_model(
-        keys in proptest::collection::vec((-50i64..50, 0u64..1000), 0..400),
-        probes in proptest::collection::vec((-60i64..60, -60i64..60), 0..20),
-    ) {
+/// The B+ tree agrees with a sorted-vector model for any entry set.
+#[test]
+fn btree_matches_model() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0xb7ee_0000 + case);
+        let n_keys = rng.random_range(0..400usize);
+        let keys: Vec<(i64, u64)> = (0..n_keys)
+            .map(|_| (rng.random_range(-50i64..50), rng.random_range(0u64..1000)))
+            .collect();
+        let probes: Vec<(i64, i64)> = (0..rng.random_range(0..20usize))
+            .map(|_| (rng.random_range(-60i64..60), rng.random_range(-60i64..60)))
+            .collect();
+
         let mut store = FileStore::new(16);
         let mut tree = BTree::create(&mut store).unwrap();
         let mut model: Vec<Entry> = Vec::new();
@@ -114,7 +117,7 @@ proptest! {
             let pos = model.partition_point(|m| *m <= e);
             model.insert(pos, e);
         }
-        prop_assert_eq!(tree.all(&store).unwrap(), model.clone());
+        assert_eq!(tree.all(&store).unwrap(), model, "case {case}");
         for &(a, b) in &probes {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let expect: Vec<Entry> = model
@@ -122,24 +125,25 @@ proptest! {
                 .filter(|e| lo <= e.key && e.key <= hi)
                 .copied()
                 .collect();
-            prop_assert_eq!(tree.range(&store, lo, hi).unwrap(), expect);
+            assert_eq!(tree.range(&store, lo, hi).unwrap(), expect, "case {case}");
         }
     }
+}
 
-    /// The buffer pool never exceeds capacity, and under PriorityLru a
-    /// higher-priority page never gets evicted while a lower-priority
-    /// unpinned page is resident.
-    #[test]
-    fn pool_respects_capacity_and_priorities(
-        ops in proptest::collection::vec((0u32..64, 0u8..3), 1..500),
-        cap in 2usize..16,
-    ) {
-        use scanshare_repro::storage::{FileId, PageId};
+/// The buffer pool never exceeds capacity, and logical reads are counted
+/// exactly once per fix.
+#[test]
+fn pool_respects_capacity_and_priorities() {
+    use scanshare_repro::storage::{FileId, PageId};
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x9001_0000 + case);
+        let cap = rng.random_range(2..16usize);
+        let n_ops = rng.random_range(1..500usize);
         let mut pool = BufferPool::new(PoolConfig::new(cap, ReplacementPolicy::PriorityLru));
         let buf = scanshare_repro::storage::page::zeroed_page().freeze();
-        for &(p, prio) in &ops {
-            let id = PageId::new(FileId(0), p);
-            let priority = match prio {
+        for _ in 0..n_ops {
+            let id = PageId::new(FileId(0), rng.random_range(0u32..64));
+            let priority = match rng.random_range(0u8..3) {
                 0 => PagePriority::Low,
                 1 => PagePriority::Normal,
                 _ => PagePriority::High,
@@ -149,28 +153,34 @@ proptest! {
                 FixOutcome::Miss => pool.complete_miss(id, buf.clone()).unwrap(),
             }
             pool.release(id, priority).unwrap();
-            prop_assert!(pool.len() <= cap);
+            assert!(pool.len() <= cap, "case {case}");
         }
-        prop_assert!(pool.stats().logical_reads == ops.len() as u64);
+        assert_eq!(pool.stats().logical_reads, n_ops as u64, "case {case}");
     }
+}
 
-    /// Grouping never exceeds the pool budget and leaders are ahead of
-    /// trailers.
-    #[test]
-    fn grouping_invariants(
-        offsets in proptest::collection::vec(0i64..10_000, 1..24),
-        pool in 1u64..5_000,
-    ) {
-        use scanshare_repro::core::grouping::find_leaders_trailers;
-        use scanshare_repro::core::anchor::AnchorId;
-        use scanshare_repro::core::ScanId;
-        let scans: Vec<(ScanId, AnchorId, i64)> = offsets
-            .iter()
-            .enumerate()
-            .map(|(i, &o)| (ScanId(i as u64), AnchorId((i % 3) as u64), o))
+/// Grouping never exceeds the pool budget and leaders are ahead of
+/// trailers.
+#[test]
+fn grouping_invariants() {
+    use scanshare_repro::core::anchor::AnchorId;
+    use scanshare_repro::core::grouping::find_leaders_trailers;
+    use scanshare_repro::core::ScanId;
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x6e0_0000 + case);
+        let n = rng.random_range(1..24usize);
+        let pool = rng.random_range(1u64..5_000);
+        let scans: Vec<(ScanId, AnchorId, i64)> = (0..n)
+            .map(|i| {
+                (
+                    ScanId(i as u64),
+                    AnchorId((i % 3) as u64),
+                    rng.random_range(0i64..10_000),
+                )
+            })
             .collect();
         let groups = find_leaders_trailers(&scans, pool);
-        prop_assert!(groups.total_extent() < pool.max(1));
+        assert!(groups.total_extent() < pool.max(1), "case {case}");
         let mut seen = 0;
         for g in &groups.groups {
             seen += g.members.len();
@@ -181,45 +191,51 @@ proptest! {
                 .map(|m| scans.iter().find(|s| s.0 == *m).unwrap().2)
                 .collect();
             for w in offs.windows(2) {
-                prop_assert!(w[0] <= w[1]);
+                assert!(w[0] <= w[1], "case {case}");
             }
-            prop_assert_eq!(
+            assert_eq!(
                 g.extent,
-                (offs[offs.len() - 1] - offs[0]) as u64
+                (offs[offs.len() - 1] - offs[0]) as u64,
+                "case {case}"
             );
         }
-        prop_assert_eq!(seen, scans.len());
+        assert_eq!(seen, scans.len(), "case {case}");
     }
+}
 
-    /// Placement always returns a start inside the feasible range and
-    /// never estimates more reads than the no-sharing baseline.
-    #[test]
-    fn placement_bounds(
-        members in proptest::collection::vec(
-            (0.0f64..5_000.0, 10.0f64..500.0, 1.0f64..5_000.0),
-            1..8
-        ),
-        cand_speed in 10.0f64..500.0,
-        cand_pages in 100.0f64..5_000.0,
-        pool in 16.0f64..1_000.0,
-    ) {
-        use scanshare_repro::core::placement::{best_start_practical, calculate_reads, Trace};
-        let traces: Vec<Trace> = members
-            .iter()
-            .map(|&(p, v, len)| Trace::new(p, v, p + len))
+/// Placement always returns a start inside the feasible range and never
+/// estimates more reads than the no-sharing baseline.
+#[test]
+fn placement_bounds() {
+    use scanshare_repro::core::placement::{best_start_practical, calculate_reads, Trace};
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x0009_1ace_0000 + case);
+        let n = rng.random_range(1..8usize);
+        let traces: Vec<Trace> = (0..n)
+            .map(|_| {
+                let p = rng.random_range(0.0f64..5_000.0);
+                let v = rng.random_range(10.0f64..500.0);
+                let len = rng.random_range(1.0f64..5_000.0);
+                Trace::new(p, v, p + len)
+            })
             .collect();
+        let cand_speed = rng.random_range(10.0f64..500.0);
+        let cand_pages = rng.random_range(100.0f64..5_000.0);
+        let pool = rng.random_range(16.0f64..1_000.0);
         if let Some(c) = best_start_practical(&traces, cand_speed, cand_pages, pool) {
-            prop_assert!(traces.iter().any(|t| (t.pos0 - c.start).abs() < 1e-9));
-            prop_assert!(c.estimate.reads <= c.estimate.baseline + 1e-6);
-            prop_assert!(c.estimate.savings_per_page() > 0.0);
+            assert!(
+                traces.iter().any(|t| (t.pos0 - c.start).abs() < 1e-9),
+                "case {case}"
+            );
+            assert!(
+                c.estimate.reads <= c.estimate.baseline + 1e-6,
+                "case {case}"
+            );
+            assert!(c.estimate.savings_per_page() > 0.0, "case {case}");
         }
         // calculate_reads is always within [0, baseline].
-        let est = calculate_reads(
-            &traces,
-            Trace::new(0.0, cand_speed, cand_pages),
-            pool,
-        );
-        prop_assert!(est.reads >= 0.0);
-        prop_assert!(est.reads <= est.baseline + 1e-6);
+        let est = calculate_reads(&traces, Trace::new(0.0, cand_speed, cand_pages), pool);
+        assert!(est.reads >= 0.0, "case {case}");
+        assert!(est.reads <= est.baseline + 1e-6, "case {case}");
     }
 }

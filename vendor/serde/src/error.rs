@@ -1,0 +1,23 @@
+use std::fmt;
+
+/// Serialization / deserialization error: a message, optionally with the
+/// line/column of a JSON parse failure (filled in by `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

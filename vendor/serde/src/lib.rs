@@ -1,0 +1,63 @@
+//! A self-contained stand-in for the parts of `serde` this workspace
+//! uses, vendored so the build is hermetic (`cargo build --offline`
+//! works with no registry access).
+//!
+//! The data model is deliberately simple: serialization produces a
+//! [`Value`] tree (the JSON object model) and deserialization consumes
+//! one. `serde_json` (also vendored) turns the tree into text and back.
+//! The derive macros in `serde_derive` generate impls of the two traits
+//! below and follow serde's JSON conventions:
+//!
+//! * structs → objects, newtype structs → their inner value,
+//! * tuple structs → arrays,
+//! * unit enum variants → `"Name"`,
+//! * data-carrying variants → `{"Name": ...}`,
+//! * `Option` → value-or-`null`, missing fields accept `null`,
+//! * `#[serde(default)]` and `#[serde(default = "path")]` are honored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the JSON object model.
+    fn to_json_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the JSON object model.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Support glue used by the generated code. Not part of the public API.
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// `{"Name": inner}` — the JSON encoding of a data-carrying enum
+    /// variant.
+    pub fn variant(name: &str, inner: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(name, inner);
+        Value::Object(m)
+    }
+
+    /// Resolve a field absent from the input object: types that accept
+    /// `null` (e.g. `Option`) get their `null` value, everything else is
+    /// a hard error — mirroring serde's missing-field behavior.
+    pub fn missing_field<T: Deserialize>(ty: &str, field: &str) -> Result<T, Error> {
+        T::from_json_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{field}` in `{ty}`")))
+    }
+
+    /// Type-mismatch error with a little context.
+    pub fn unexpected(expected: &str, got: &Value) -> Error {
+        Error::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}

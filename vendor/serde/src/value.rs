@@ -1,0 +1,229 @@
+use std::fmt;
+
+/// A JSON value tree — the interchange model between [`crate::Serialize`]
+/// / [`crate::Deserialize`] and the text codec in `serde_json`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// `true` iff this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is one and fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is one and fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// A JSON number. Integers keep their exact representation; `u64` values
+/// above `i64::MAX` stay unsigned.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// As `u64`, if non-negative integral.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) if n >= 0 => Some(n as u64),
+            Number::I64(_) => None,
+            Number::F64(f) if f >= 0.0 && f <= u64::MAX as f64 && f.fract() == 0.0 => {
+                Some(f as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `i64`, if integral and in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::I64(n) => Some(n),
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `f64` (integers convert; may round above 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(n) => write!(f, "{n}"),
+            Number::I64(n) => write!(f, "{n}"),
+            Number::F64(x) => {
+                if !x.is_finite() {
+                    // JSON has no inf/nan; serialize as null-adjacent 0.
+                    write!(f, "null")
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON object that preserves insertion order (serde_json's default map
+/// is good enough to imitate with a vector at our object sizes).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append or replace a member.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Look up a member.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// The first member, if any — the discriminating entry of an
+    /// externally-tagged enum encoding.
+    pub fn first(&self) -> Option<(&str, &Value)> {
+        self.entries.first().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}

@@ -1,0 +1,490 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! The expansion strategy avoids `syn`/`quote` (unavailable offline):
+//! the item's token stream is walked directly to recover the shape —
+//! struct vs enum, field names, variant arities, `#[serde(default)]`
+//! attributes — and the impl is rendered as a source string, then parsed
+//! back into a `TokenStream`. Field *types* never need to be named:
+//! deserialization calls `serde::Deserialize::from_json_value` in
+//! positions where inference pins the type (struct literals, variant
+//! constructors).
+//!
+//! Supported shapes (everything this workspace derives): named-field
+//! structs, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or named-field. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_deserialize(&item))
+}
+
+fn render(src: String) -> TokenStream {
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+enum FieldDefault {
+    /// `#[serde(default)]`
+    Std,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // An outer attribute: swallow the bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut toks);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut toks);
+            }
+            Some(other) => panic!("serde derive: unexpected token `{other}` before item keyword"),
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_struct(toks: &mut Toks) -> Item {
+    let name = expect_ident(toks);
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+            name,
+            data: Data::NamedStruct(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+            name,
+            data: Data::TupleStruct(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+            name,
+            data: Data::UnitStruct,
+        },
+        other => panic!(
+            "serde derive: unsupported struct body for `{name}` (generics are not supported): {other:?}"
+        ),
+    }
+}
+
+fn parse_enum(toks: &mut Toks) -> Item {
+    let name = expect_ident(toks);
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+    };
+    let mut vars = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let vname = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: expected variant name in `{name}`, got `{other}`"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        for tok in it.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        vars.push(Variant { name: vname, shape });
+    }
+    Item {
+        name,
+        data: Data::Enum(vars),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let default = collect_field_attrs(&mut it);
+        // Visibility.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(
+                it.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                it.next();
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: expected field name, got `{other}`"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type, tracking `<...>` nesting so commas inside
+        // generic arguments don't end the field.
+        let mut angle = 0i32;
+        for tok in it.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant: top-level commas
+/// (angle-bracket aware) separate fields; a trailing comma adds none.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if in_field {
+                    n += 1;
+                    in_field = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        in_field = true;
+    }
+    if in_field {
+        n += 1;
+    }
+    n
+}
+
+/// Skip attributes, returning the `#[serde(default...)]` info if present.
+fn collect_field_attrs(it: &mut Toks) -> Option<FieldDefault> {
+    let mut default = None;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        if let Some(TokenTree::Group(g)) = it.next() {
+            if let Some(d) = parse_serde_attr(g.stream()) {
+                default = Some(d);
+            }
+        }
+    }
+    default
+}
+
+fn skip_attributes(it: &mut Toks) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        it.next();
+    }
+}
+
+/// Inside an attribute's `[...]`: detect `serde(default)` and
+/// `serde(default = "path")`.
+fn parse_serde_attr(attr: TokenStream) -> Option<FieldDefault> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut it = inner.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        Some(other) => panic!("serde derive: unsupported serde attribute `{other}`"),
+        None => return None,
+    }
+    match it.next() {
+        None => Some(FieldDefault::Std),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match it.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let s = lit.to_string();
+                let path = s.trim_matches('"').to_string();
+                Some(FieldDefault::Path(path))
+            }
+            other => panic!("serde derive: bad `default =` value: {other:?}"),
+        },
+        Some(other) => panic!("serde derive: unsupported serde attribute tail `{other}`"),
+    }
+}
+
+fn expect_ident(toks: &mut Toks) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => {
+            let name = id.to_string();
+            if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                panic!("serde derive: generic type `{name}<...>` is not supported");
+            }
+            name
+        }
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+const HEADER: &str = "#[automatically_derived]\n#[allow(unused, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(\"{n}\", serde::Serialize::to_json_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("serde::Value::Object(__m)");
+            s
+        }
+        Data::TupleStruct(1) => "serde::Serialize::to_json_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Data::UnitStruct => "serde::Value::Null".to_string(),
+        Data::Enum(vars) => {
+            let mut arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::__private::variant(\"{vn}\", serde::Serialize::to_json_value(__f0)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::__private::variant(\"{vn}\", serde::Value::Array(vec![{elems}])),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner =
+                            String::from("{ let mut __m = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{n}\", serde::Serialize::to_json_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serde::__private::variant(\"{vn}\", {inner}),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{HEADER}impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+/// The expression for one named field, reading from object map `__m`.
+fn field_expr(ty_name: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        Some(FieldDefault::Std) => "::core::default::Default::default()".to_string(),
+        Some(FieldDefault::Path(p)) => format!("{p}()"),
+        None => format!(
+            "serde::__private::missing_field(\"{ty_name}\", \"{n}\")?",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match __m.get(\"{n}\") {{\n\
+         ::core::option::Option::Some(__x) => serde::Deserialize::from_json_value(__x)?,\n\
+         ::core::option::Option::None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn tuple_elems(n: usize, arr: &str) -> String {
+    (0..n)
+        .map(|i| format!("serde::Deserialize::from_json_value(&{arr}[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn expect_array(n: usize, what: &str) -> String {
+    format!(
+        "let __a = __inner.as_array().ok_or_else(|| serde::__private::unexpected(\"an array ({what})\", __inner))?;\n\
+         if __a.len() != {n} {{ return ::core::result::Result::Err(serde::Error::custom(\"wrong tuple arity for {what}\")); }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| serde::__private::unexpected(\"an object ({name})\", __v))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(serde::Deserialize::from_json_value(__v)?))")
+        }
+        Data::TupleStruct(n) => format!(
+            "let __inner = __v;\n{check}::core::result::Result::Ok({name}({elems}))",
+            check = expect_array(*n, name),
+            elems = tuple_elems(*n, "__a")
+        ),
+        Data::UnitStruct => format!(
+            "if __v.is_null() {{ ::core::result::Result::Ok({name}) }} else {{ \
+             ::core::result::Result::Err(serde::__private::unexpected(\"null ({name})\", __v)) }}"
+        ),
+        Data::Enum(vars) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(serde::Deserialize::from_json_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n{check}::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                        check = expect_array(*n, &format!("{name}::{vn}")),
+                        elems = tuple_elems(*n, "__a")
+                    )),
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_expr(&format!("{name}::{vn}"), f))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = __inner.as_object().ok_or_else(|| serde::__private::unexpected(\"an object ({name}::{vn})\", __inner))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{}\n}})\n}}\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 serde::Value::Object(__obj) => {{\n\
+                 let (__tag, __inner) = __obj.first().ok_or_else(|| serde::Error::custom(\"empty object for enum {name}\"))?;\n\
+                 let _ = __inner;\n\
+                 match __tag {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err(serde::__private::unexpected(\"a string or tagged object ({name})\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "{HEADER}impl serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,103 @@
+//! JSON text encoding/decoding over the vendored `serde` value tree.
+//!
+//! Implements the subset of the real `serde_json` API this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`to_vec`], [`from_str`],
+//! [`from_slice`], plus the [`Value`] re-export. Number formatting
+//! follows serde_json conventions (integers bare, integral floats with a
+//! trailing `.0`); floats round-trip exactly via Rust's shortest-form
+//! `Display`.
+
+pub use serde::{Map, Number, Value};
+
+mod parse;
+mod print;
+
+pub use parse::parse_value;
+
+/// Errors from encoding or decoding JSON.
+pub type Error = serde::Error;
+
+/// A `Result` specialized to [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(print::write_compact(&value.to_json_value()))
+}
+
+/// Serialize `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(print::write_pretty(&value.to_json_value()))
+}
+
+/// Serialize `value` to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = parse::parse_value(s)?;
+    T::from_json_value(&v)
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        for src in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "18446744073709551615",
+            "1.5",
+            "\"hi\"",
+        ] {
+            let v: Value = from_str(src).unwrap();
+            assert_eq!(to_string(&v).unwrap(), src, "round-trip of {src}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&-0.5f64).unwrap(), "-0.5");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let src = r#"{"a":[1,2.5,"x"],"b":{"c":null},"d":true}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(to_string(&v).unwrap(), src);
+        // Pretty output parses back to the same tree.
+        let pretty = to_string_pretty(&v).unwrap();
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "line\n\"quoted\"\tend\\".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_errors_have_context() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("line"), "{err}");
+        assert!(from_str::<Value>("[1,2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
