@@ -1,0 +1,140 @@
+//! CI performance-regression gate binary.
+//!
+//! ```sh
+//! bench_gate --write-baseline results/baseline_smoke.json   # (re)pin
+//! bench_gate --gate results/baseline_smoke.json             # CI check
+//! ```
+//!
+//! The smoke workload is pinned (tiny scale, fixed seed, fixed stream
+//! count) and runs on virtual time, so its numbers are bit-identical
+//! across machines and runs: any drift past the per-metric tolerances in
+//! the committed baseline is a real change in engine behavior, not
+//! noise. Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
+
+use scanshare::SharingConfig;
+use scanshare_bench::gate::{collect_metrics, compare, has_regression, render_diffs, GateBaseline};
+use scanshare_engine::{run_workload, RunReport, SharingMode};
+use scanshare_tpch::{generate, throughput_workload, TpchConfig};
+
+/// Streams in the smoke workload.
+const SMOKE_STREAMS: usize = 3;
+
+fn smoke_config() -> TpchConfig {
+    // Deliberately NOT experiment_config(): the gate must ignore
+    // SCANSHARE_SCALE/SEED so the committed baseline always matches.
+    TpchConfig::tiny()
+}
+
+fn smoke_description(cfg: &TpchConfig) -> String {
+    format!(
+        "{SMOKE_STREAMS}-stream throughput smoke, scale {}, seed {}",
+        cfg.scale, cfg.seed
+    )
+}
+
+fn run_smoke_pair() -> (RunReport, RunReport) {
+    let cfg = smoke_config();
+    let db = generate(&cfg);
+    let months = cfg.months as i64;
+    let base_spec = throughput_workload(&db, SMOKE_STREAMS, months, cfg.seed, SharingMode::Base);
+    let ss_spec = throughput_workload(
+        &db,
+        SMOKE_STREAMS,
+        months,
+        cfg.seed,
+        SharingMode::ScanSharing(SharingConfig::new(0)),
+    );
+    eprintln!(
+        "running pinned smoke workload ({}) ...",
+        smoke_description(&cfg)
+    );
+    let base = run_workload(&db, &base_spec).expect("base smoke run");
+    let ss = run_workload(&db, &ss_spec).expect("ss smoke run");
+    (base, ss)
+}
+
+const USAGE: &str = "\
+bench_gate — deterministic perf-regression gate
+
+USAGE:
+  bench_gate --gate BASELINE.json            compare against a committed
+                                             baseline; exit 1 on regression
+  bench_gate --write-baseline BASELINE.json  run the smoke workload and
+                                             (re)write the baseline
+";
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = flag_value(&args, "--gate");
+    let write = flag_value(&args, "--write-baseline");
+    let code = match (gate, write) {
+        (Some(path), None) => run_gate(&path),
+        (None, Some(path)) => write_baseline(&path),
+        _ => {
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn write_baseline(path: &str) -> i32 {
+    let cfg = smoke_config();
+    let (base, ss) = run_smoke_pair();
+    let baseline = GateBaseline {
+        description: smoke_description(&cfg),
+        metrics: collect_metrics(&base, &ss),
+    };
+    let json = match serde_json::to_string_pretty(&baseline) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize baseline: {e}");
+            return 2;
+        }
+    };
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        return 2;
+    }
+    println!("baseline written to {path}:");
+    for m in &baseline.metrics {
+        println!(
+            "  {:<20} {:>14.2}  (tol {:.1}%)",
+            m.name, m.value, m.tolerance_pct
+        );
+    }
+    0
+}
+
+fn run_gate(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let baseline: GateBaseline = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("invalid baseline {path}: {e}");
+            return 2;
+        }
+    };
+    let (base, ss) = run_smoke_pair();
+    let current = collect_metrics(&base, &ss);
+    let diffs = compare(&baseline, &current);
+    print!("{}", render_diffs(&baseline.description, &diffs));
+    if has_regression(&diffs) {
+        1
+    } else {
+        0
+    }
+}

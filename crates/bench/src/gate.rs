@@ -1,0 +1,301 @@
+//! CI performance-regression gate.
+//!
+//! `bench_gate` runs a pinned, fully deterministic smoke workload (the
+//! simulator runs on virtual time, so the numbers are bit-identical
+//! across machines), extracts headline metrics from the base and
+//! scan-sharing runs, and diffs them against a committed baseline with
+//! per-metric tolerances. CI fails when a metric regresses past its
+//! tolerance — a makespan that grew, a hit ratio or sharing gain that
+//! shrank — catching performance regressions the way unit tests catch
+//! functional ones.
+
+use scanshare_engine::metrics::gain;
+use scanshare_engine::RunReport;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Which direction is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Better {
+    /// Smaller is better (times, reads, seeks).
+    Lower,
+    /// Larger is better (hit ratios, gains).
+    Higher,
+}
+
+/// One gated metric: its value, direction, and allowed drift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateMetric {
+    /// Metric name (stable across runs; the diff key).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Improvement direction.
+    pub better: Better,
+    /// Allowed drift in the *worse* direction, as a percentage of the
+    /// baseline's absolute value.
+    pub tolerance_pct: f64,
+}
+
+/// A committed performance baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateBaseline {
+    /// Where the numbers came from (workload, scale, seed).
+    pub description: String,
+    /// The gated metrics.
+    pub metrics: Vec<GateMetric>,
+}
+
+/// One metric's comparison against the baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateDiff {
+    /// Metric name.
+    pub name: String,
+    /// Committed value.
+    pub baseline: f64,
+    /// Value measured now (`None`: the metric disappeared).
+    pub current: Option<f64>,
+    /// Allowed drift.
+    pub tolerance_pct: f64,
+    /// Relative change in percent (positive = value grew).
+    pub delta_pct: f64,
+    /// Whether this metric fails the gate.
+    pub regressed: bool,
+}
+
+/// Extract the gated metrics from a base/scan-sharing run pair. The
+/// tolerances encode how much each headline number may drift before CI
+/// fails: timing 5 %, I/O counts 2 %, ratios and gains 10 % relative.
+pub fn collect_metrics(base: &RunReport, ss: &RunReport) -> Vec<GateMetric> {
+    let m = |name: &str, value: f64, better: Better, tolerance_pct: f64| GateMetric {
+        name: name.to_string(),
+        value,
+        better,
+        tolerance_pct,
+    };
+    vec![
+        m(
+            "base_makespan_us",
+            base.makespan.as_micros() as f64,
+            Better::Lower,
+            5.0,
+        ),
+        m(
+            "ss_makespan_us",
+            ss.makespan.as_micros() as f64,
+            Better::Lower,
+            5.0,
+        ),
+        m(
+            "base_pages_read",
+            base.disk.pages_read as f64,
+            Better::Lower,
+            2.0,
+        ),
+        m(
+            "ss_pages_read",
+            ss.disk.pages_read as f64,
+            Better::Lower,
+            2.0,
+        ),
+        m("ss_seeks", ss.disk.seeks as f64, Better::Lower, 5.0),
+        m(
+            "ss_hit_ratio_pct",
+            ss.pool.hit_ratio() * 100.0,
+            Better::Higher,
+            10.0,
+        ),
+        m(
+            "gain_time_pct",
+            gain(
+                base.makespan.as_micros() as f64,
+                ss.makespan.as_micros() as f64,
+            ) * 100.0,
+            Better::Higher,
+            10.0,
+        ),
+        m(
+            "gain_reads_pct",
+            gain(base.disk.pages_read as f64, ss.disk.pages_read as f64) * 100.0,
+            Better::Higher,
+            10.0,
+        ),
+    ]
+}
+
+/// Diff current metrics against a baseline. Every baseline metric must
+/// be present and within tolerance; metrics only present in `current`
+/// are ignored (they will be gated once committed to the baseline).
+pub fn compare(baseline: &GateBaseline, current: &[GateMetric]) -> Vec<GateDiff> {
+    baseline
+        .metrics
+        .iter()
+        .map(|b| {
+            let cur = current.iter().find(|c| c.name == b.name);
+            let slack = b.value.abs() * b.tolerance_pct / 100.0;
+            let (current_value, regressed, delta_pct) = match cur {
+                None => (None, true, 0.0),
+                Some(c) => {
+                    let regressed = match b.better {
+                        Better::Lower => c.value > b.value + slack,
+                        Better::Higher => c.value < b.value - slack,
+                    };
+                    let delta_pct = if b.value.abs() > f64::EPSILON {
+                        (c.value - b.value) / b.value.abs() * 100.0
+                    } else {
+                        0.0
+                    };
+                    (Some(c.value), regressed, delta_pct)
+                }
+            };
+            GateDiff {
+                name: b.name.clone(),
+                baseline: b.value,
+                current: current_value,
+                tolerance_pct: b.tolerance_pct,
+                delta_pct,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// Whether any diff fails the gate.
+pub fn has_regression(diffs: &[GateDiff]) -> bool {
+    diffs.iter().any(|d| d.regressed)
+}
+
+/// Render the diff table, flagging regressions.
+pub fn render_diffs(description: &str, diffs: &[GateDiff]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "perf gate vs baseline: {description}");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>14} {:>14} {:>9} {:>7}  verdict",
+        "metric", "baseline", "current", "delta", "tol"
+    );
+    for d in diffs {
+        let current = match d.current {
+            Some(v) => format!("{v:.2}"),
+            None => "missing".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>14.2} {:>14} {:>8.2}% {:>6.1}%  {}",
+            d.name,
+            d.baseline,
+            current,
+            d.delta_pct,
+            d.tolerance_pct,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let n = diffs.iter().filter(|d| d.regressed).count();
+    if n > 0 {
+        let _ = writeln!(out, "FAIL: {n} metric(s) regressed past tolerance");
+    } else {
+        let _ = writeln!(out, "PASS: all {} metrics within tolerance", diffs.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64, better: Better, tol: f64) -> GateMetric {
+        GateMetric {
+            name: name.into(),
+            value,
+            better,
+            tolerance_pct: tol,
+        }
+    }
+
+    fn baseline() -> GateBaseline {
+        GateBaseline {
+            description: "test".into(),
+            metrics: vec![
+                metric("time", 100.0, Better::Lower, 5.0),
+                metric("hit", 80.0, Better::Higher, 10.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes_both_directions() {
+        let current = vec![
+            metric("time", 104.9, Better::Lower, 5.0),
+            metric("hit", 72.1, Better::Higher, 10.0),
+        ];
+        let diffs = compare(&baseline(), &current);
+        assert!(!has_regression(&diffs));
+        assert!((diffs[0].delta_pct - 4.9).abs() < 1e-9);
+        // Improvements never fail, however large.
+        let better = vec![
+            metric("time", 10.0, Better::Lower, 5.0),
+            metric("hit", 99.0, Better::Higher, 10.0),
+        ];
+        assert!(!has_regression(&compare(&baseline(), &better)));
+    }
+
+    #[test]
+    fn past_tolerance_fails_in_the_worse_direction_only() {
+        let slow = vec![
+            metric("time", 105.1, Better::Lower, 5.0),
+            metric("hit", 80.0, Better::Higher, 10.0),
+        ];
+        let diffs = compare(&baseline(), &slow);
+        assert!(diffs[0].regressed && !diffs[1].regressed);
+        let cold = vec![
+            metric("time", 100.0, Better::Lower, 5.0),
+            metric("hit", 71.9, Better::Higher, 10.0),
+        ];
+        let diffs = compare(&baseline(), &cold);
+        assert!(!diffs[0].regressed && diffs[1].regressed);
+    }
+
+    #[test]
+    fn missing_metric_regresses_and_extra_metrics_are_ignored() {
+        let current = vec![
+            metric("time", 100.0, Better::Lower, 5.0),
+            metric("brand_new", 1.0, Better::Lower, 5.0),
+        ];
+        let diffs = compare(&baseline(), &current);
+        assert_eq!(diffs.len(), 2);
+        let hit = diffs.iter().find(|d| d.name == "hit").unwrap();
+        assert!(hit.regressed && hit.current.is_none());
+        assert!(!diffs.iter().any(|d| d.name == "brand_new"));
+    }
+
+    #[test]
+    fn negative_baselines_use_absolute_slack() {
+        // A negative gain (sharing currently hurts) still gates sanely:
+        // Higher-is-better with baseline -10 and 10% tolerance allows
+        // down to -11.
+        let b = GateBaseline {
+            description: "neg".into(),
+            metrics: vec![metric("gain", -10.0, Better::Higher, 10.0)],
+        };
+        assert!(!has_regression(&compare(
+            &b,
+            &[metric("gain", -10.9, Better::Higher, 10.0)]
+        )));
+        assert!(has_regression(&compare(
+            &b,
+            &[metric("gain", -11.1, Better::Higher, 10.0)]
+        )));
+    }
+
+    #[test]
+    fn render_names_verdicts_and_baseline_round_trips_json() {
+        let diffs = compare(&baseline(), &[metric("time", 200.0, Better::Lower, 5.0)]);
+        let text = render_diffs("test", &diffs);
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("missing"));
+        let json = serde_json::to_string_pretty(&baseline()).unwrap();
+        let back: GateBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, baseline());
+    }
+}

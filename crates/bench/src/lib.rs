@@ -21,6 +21,7 @@
 //! as JSON under `results/`. Scale via `SCANSHARE_SCALE` (default 1.0)
 //! and seed via `SCANSHARE_SEED` (default 42).
 
+pub mod gate;
 pub mod micro;
 
 use scanshare::SharingConfig;

@@ -19,7 +19,9 @@ use scanshare_engine::{
 use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
 use serde::{Deserialize, Serialize};
 
+pub mod explain;
 pub mod render;
+pub mod watch;
 
 /// A self-contained run description: the database to generate plus the
 /// workload to execute against it.
@@ -80,6 +82,19 @@ pub enum Command {
     Trace { artifact: String },
     /// `metrics --artifact FILE`: render a saved report's metrics.
     Metrics { artifact: String },
+    /// `explain --artifact FILE [--scan ID]`: narrate a saved report's
+    /// decision provenance — why each scan was placed, throttled, capped,
+    /// and re-prioritized.
+    Explain { artifact: String, scan: Option<u64> },
+    /// `watch --spec FILE [--db FILE] [--tick-ms N] [--tail N]
+    /// [--no-clear]`: run a spec with a live ASCII dashboard.
+    Watch {
+        spec: String,
+        db: Option<String>,
+        tick_ms: u64,
+        tail: usize,
+        no_clear: bool,
+    },
     /// `generate --scale S --seed X --out FILE`
     Generate { scale: f64, seed: u64, out: String },
     /// `spec-template`
@@ -200,6 +215,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("metrics requires --artifact FILE".into()))?
                 .to_string(),
         }),
+        "explain" => Ok(Command::Explain {
+            artifact: flag_value(args, "--artifact")
+                .ok_or_else(|| UsageError("explain requires --artifact FILE".into()))?
+                .to_string(),
+            scan: match flag_value(args, "--scan") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("invalid value '{v}' for --scan")))?,
+                ),
+            },
+        }),
+        "watch" => Ok(Command::Watch {
+            spec: flag_value(args, "--spec")
+                .ok_or_else(|| UsageError("watch requires --spec FILE".into()))?
+                .to_string(),
+            db: flag_value(args, "--db").map(String::from),
+            tick_ms: parse_flag(args, "--tick-ms", 250)?,
+            tail: parse_flag(args, "--tail", 8)?,
+            no_clear: args.iter().any(|a| a == "--no-clear"),
+        }),
         "generate" => Ok(Command::Generate {
             scale: parse_flag(args, "--scale", 0.5)?,
             seed: parse_flag(args, "--seed", 42)?,
@@ -235,6 +271,17 @@ USAGE:
   scanshare metrics --artifact FILE
       Render a saved RunReport's metrics snapshot: counters, latency
       histograms, and per-group/per-scan timelines as text tables.
+  scanshare explain --artifact FILE [--scan ID]
+      Narrate a saved RunReport's decision provenance: per-scan causal
+      stories (placement candidates vs threshold, throttle distance vs
+      threshold, slowdown vs fairness cap) and per-group timelines.
+      With --scan, only that scan's narrative.
+  scanshare watch --spec FILE [--db FILE] [--tick-ms N] [--tail N]
+                  [--no-clear]
+      Execute a JSON RunSpec with a live ASCII dashboard: group
+      topology, per-scan throttle state, pool-residency heatmap, and
+      the decision tail, redrawn every N ms (--no-clear appends frames
+      instead of clearing, for piped output).
   scanshare generate [--scale S] [--seed X] --out FILE
       Generate the TPC-H-like database once and save it for reuse.
   scanshare spec-template
@@ -403,6 +450,66 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         },
+        Command::Explain { artifact, scan } => {
+            match load_report(&artifact).and_then(|report| explain::render_explain(&report, scan)) {
+                Ok(text) => {
+                    print!("{text}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    2
+                }
+            }
+        }
+        Command::Watch {
+            spec,
+            db,
+            tick_ms,
+            tail,
+            no_clear,
+        } => {
+            let text = match std::fs::read_to_string(&spec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {spec}: {e}");
+                    return 2;
+                }
+            };
+            let parsed: RunSpec = match serde_json::from_str(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("invalid spec {spec}: {e}");
+                    return 2;
+                }
+            };
+            let database = match db {
+                Some(path) => match Database::load(&path) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("cannot load {path}: {e}");
+                        return 2;
+                    }
+                },
+                None => generate(&parsed.tpch),
+            };
+            let opts = watch::WatchOptions {
+                tick_ms,
+                clear: !no_clear,
+                tail,
+            };
+            let mut stdout = std::io::stdout();
+            match watch::run_watch(&database, &parsed.workload, &opts, &mut stdout) {
+                Ok(r) => {
+                    print_report("watched run", &r);
+                    0
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    1
+                }
+            }
+        }
         Command::Generate { scale, seed, out } => {
             let tpch = TpchConfig {
                 scale,
@@ -562,6 +669,41 @@ mod tests {
         assert!(parse_args(&args("frobnicate")).is_err());
         assert!(parse_args(&args("trace")).is_err());
         assert!(parse_args(&args("metrics")).is_err());
+        assert!(parse_args(&args("explain")).is_err());
+        assert!(parse_args(&args("explain --artifact r.json --scan abc")).is_err());
+        assert!(parse_args(&args("watch")).is_err());
+        assert!(parse_args(&args("watch --spec s.json --tick-ms fast")).is_err());
+    }
+
+    #[test]
+    fn parses_explain_and_watch() {
+        assert_eq!(
+            parse_args(&args("explain --artifact out.json")).unwrap(),
+            Command::Explain {
+                artifact: "out.json".into(),
+                scan: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("explain --artifact out.json --scan 3")).unwrap(),
+            Command::Explain {
+                artifact: "out.json".into(),
+                scan: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "watch --spec s.json --tick-ms 100 --tail 5 --no-clear"
+            ))
+            .unwrap(),
+            Command::Watch {
+                spec: "s.json".into(),
+                db: None,
+                tick_ms: 100,
+                tail: 5,
+                no_clear: true,
+            }
+        );
     }
 
     #[test]
@@ -630,6 +772,15 @@ mod tests {
         let metrics_text = render::render_metrics(&report);
         assert!(metrics_text.contains("histograms"));
         assert!(metrics_text.contains("disk.read_us"));
+        // Sharing-mode artifacts carry decision provenance, so the saved
+        // report explains itself too.
+        assert!(!report.decisions.is_empty());
+        let explained = explain::render_explain(&report, None).unwrap();
+        assert!(explained.contains("decision summary"));
+        assert!(explained.contains("narrative"));
+        let first = explain::scans_mentioned(&report.decisions)[0];
+        let one = explain::render_explain(&report, Some(first.0)).unwrap();
+        assert!(one.contains(&format!("scan {} narrative", first.0)));
         std::fs::remove_file(&report_path).ok();
         std::fs::remove_file(&trace_path).ok();
     }

@@ -1,0 +1,356 @@
+//! Live ASCII dashboard over a running workload.
+//!
+//! `scanshare watch` executes a spec on a background thread with a
+//! [`scanshare_engine::RunHooks`] observer attached; the engine delivers
+//! a [`WatchFrame`] at every metrics-sample tick, and the foreground
+//! thread redraws the dashboard at a wall-clock cadence: group topology
+//! (trailer → leader), per-scan throttle state against the fairness-cap
+//! budget, a pool-residency heatmap by release priority, and the tail of
+//! the decision-provenance log. The simulation itself runs on virtual
+//! time, so watching costs nothing in measured results — the same spec
+//! produces the same report with or without the dashboard.
+
+use scanshare::decision::{describe, role_name};
+use scanshare::{DecisionLog, DecisionRecord};
+use scanshare_engine::{
+    run_workload_hooked, Database, RunHooks, RunReport, WatchFrame, WorkloadSpec,
+};
+use scanshare_storage::PagePriority;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Columns in the residency heatmap and slowdown bars.
+const STRIP_WIDTH: usize = 64;
+
+/// How the dashboard runs.
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Wall-clock milliseconds between redraws.
+    pub tick_ms: u64,
+    /// Clear the terminal between frames (ANSI); off for piped output.
+    pub clear: bool,
+    /// Decision-tail length.
+    pub tail: usize,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            tick_ms: 250,
+            clear: true,
+            tail: 8,
+        }
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// The pool-residency heatmap: resident pages bucketed over the resident
+/// id range into a fixed-width strip, each column showing the highest
+/// release priority present (`#` high, `=` normal, `.` low, space empty).
+fn residency_strip(frame: &WatchFrame, width: usize) -> String {
+    if frame.resident.is_empty() {
+        return " ".repeat(width);
+    }
+    // resident_pages() is sorted by id; columns keep that order.
+    let mut cols: Vec<Option<PagePriority>> = vec![None; width];
+    for (i, p) in frame.resident.iter().enumerate() {
+        let idx = (i * width / frame.resident.len()).min(width - 1);
+        cols[idx] = Some(match cols[idx] {
+            Some(prev) if prev >= p.priority => prev,
+            _ => p.priority,
+        });
+    }
+    cols.iter()
+        .map(|c| match c {
+            None => ' ',
+            Some(PagePriority::High) => '#',
+            Some(PagePriority::Normal) => '=',
+            Some(PagePriority::Low) => '.',
+        })
+        .collect()
+}
+
+/// Render one dashboard frame as plain text (no ANSI).
+pub fn render_dashboard(frame: &WatchFrame, tail: &[DecisionRecord], done: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scanshare watch — t={:.3}s  queries done {}  [{}]",
+        frame.at.as_micros() as f64 / 1e6,
+        frame.queries_done,
+        if done { "finished" } else { "running" }
+    );
+    let _ = writeln!(
+        out,
+        "pool  {:>5}/{} pages resident  hit {:>5.1}%  evictions {}  reprioritizations {}",
+        frame.resident.len(),
+        frame.pool_capacity,
+        frame.pool.hit_ratio() * 100.0,
+        frame.pool.evictions,
+        frame.pool.reprioritizations,
+    );
+    let _ = writeln!(
+        out,
+        "      |{}|  (# high  = normal  . low)",
+        residency_strip(frame, STRIP_WIDTH)
+    );
+    let _ = writeln!(
+        out,
+        "disk  reads {}  seeks {}  head travel {} pages",
+        frame.disk.pages_read, frame.disk.seeks, frame.disk.seek_distance_pages,
+    );
+    match &frame.probe {
+        None => {
+            let _ = writeln!(out, "mode  base (no sharing manager)");
+        }
+        Some(probe) => {
+            let _ = writeln!(
+                out,
+                "groups ({} formed, {} shared)",
+                probe.groups.len(),
+                probe.shared_groups()
+            );
+            for g in &probe.groups {
+                let members: Vec<String> = g.members.iter().map(|m| m.0.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  group {}: {} scan{} [{}] extent {} pages",
+                    g.anchor.0,
+                    g.members.len(),
+                    if g.members.len() == 1 { "" } else { "s" },
+                    members.join(" -> "),
+                    g.extent
+                );
+            }
+            if !probe.scans.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:<5} {:<10} {:>10} {:>10}  {:<24} state",
+                    "scan", "role", "remaining", "pages/s", "slowdown vs cap"
+                );
+            }
+            for s in &probe.scans {
+                let _ = writeln!(
+                    out,
+                    "  {:<5} {:<10} {:>10} {:>10.1}  |{}| {:>4.0}%  {}",
+                    s.id.0,
+                    role_name(s.role),
+                    s.remaining_pages,
+                    s.speed,
+                    bar(s.slowdown_frac, 16),
+                    s.slowdown_frac * 100.0,
+                    if s.throttle_exempt { "cap-exempt" } else { "" },
+                );
+            }
+        }
+    }
+    if !tail.is_empty() {
+        let _ = writeln!(out, "decisions (last {})", tail.len());
+        for r in tail {
+            let _ = writeln!(
+                out,
+                "  {:>9.3}s  {}",
+                r.at.as_micros() as f64 / 1e6,
+                describe(&r.event)
+            );
+        }
+    }
+    out
+}
+
+/// Run `spec` with a live dashboard written to `out`. Returns the same
+/// [`RunReport`] a plain `run` would have produced.
+pub fn run_watch(
+    db: &Database,
+    spec: &WorkloadSpec,
+    opts: &WatchOptions,
+    out: &mut dyn std::io::Write,
+) -> Result<RunReport, String> {
+    let latest: Arc<Mutex<Option<WatchFrame>>> = Arc::new(Mutex::new(None));
+    let log = DecisionLog::new(1 << 16);
+    let sink = latest.clone();
+    let hooks = RunHooks {
+        decisions: Some(log.clone()),
+        observer: Some(Arc::new(move |f: &WatchFrame| {
+            *sink.lock().unwrap() = Some(f.clone());
+        })),
+        ..RunHooks::default()
+    };
+
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| run_workload_hooked(db, spec, hooks));
+        loop {
+            let done = worker.is_finished();
+            if let Some(frame) = latest.lock().unwrap().clone() {
+                let text = render_dashboard(&frame, &log.tail(opts.tail), done);
+                if opts.clear {
+                    let _ = write!(out, "\x1b[2J\x1b[H{text}");
+                } else {
+                    let _ = writeln!(out, "{text}");
+                }
+                let _ = out.flush();
+            }
+            if done {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(opts.tick_ms));
+        }
+        worker
+            .join()
+            .map_err(|_| "watch worker panicked".to_string())?
+            .map_err(|e| format!("run failed: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare::anchor::AnchorId;
+    use scanshare::{DecisionEvent, ManagerProbe, ScanId};
+    use scanshare_storage::{
+        DiskStats, PageId, PagePriority, PoolStats, ResidentPage, SimDuration, SimTime,
+    };
+
+    fn frame() -> WatchFrame {
+        let pool = PoolStats {
+            logical_reads: 100,
+            hits: 80,
+            reprioritizations: 3,
+            ..PoolStats::default()
+        };
+        WatchFrame {
+            at: SimTime::from_millis(1500),
+            probe: Some(ManagerProbe::default()),
+            pool,
+            pool_capacity: 128,
+            resident: vec![
+                ResidentPage {
+                    id: PageId::new(scanshare_storage::FileId(0), 1),
+                    priority: PagePriority::High,
+                    pinned: false,
+                },
+                ResidentPage {
+                    id: PageId::new(scanshare_storage::FileId(0), 2),
+                    priority: PagePriority::Low,
+                    pinned: true,
+                },
+            ],
+            disk: DiskStats::default(),
+            queries_done: 2,
+        }
+    }
+
+    #[test]
+    fn dashboard_renders_pool_groups_and_tail() {
+        let mut f = frame();
+        let probe = f.probe.as_mut().unwrap();
+        probe.groups.push(scanshare::GroupInfo {
+            anchor: AnchorId(4),
+            members: vec![ScanId(2), ScanId(0)],
+            extent: 48,
+        });
+        probe.scans.push(scanshare::ScanProbe {
+            id: ScanId(0),
+            role: scanshare::Role::Leader,
+            remaining_pages: 900,
+            speed: 123.4,
+            accumulated_slowdown: SimDuration::from_millis(100),
+            slowdown_budget: SimDuration::from_millis(200),
+            slowdown_frac: 0.5,
+            throttle_exempt: false,
+        });
+        let tail = vec![DecisionRecord {
+            at: SimTime::from_millis(1400),
+            event: DecisionEvent::Unthrottle {
+                scan: ScanId(0),
+                group: AnchorId(4),
+                distance_pages: 10,
+                threshold_pages: 32,
+            },
+        }];
+        let text = render_dashboard(&f, &tail, false);
+        assert!(text.contains("t=1.500s"), "got: {text}");
+        assert!(text.contains("2/128 pages resident"));
+        assert!(text.contains("hit  80.0%"));
+        assert!(text.contains("reprioritizations 3"));
+        assert!(text.contains("group 4: 2 scans [2 -> 0] extent 48 pages"));
+        assert!(text.contains("leader"));
+        assert!(text.contains("50%"));
+        assert!(text.contains("decisions (last 1)"));
+        assert!(text.contains("unthrottled"));
+        assert!(text.contains("[running]"));
+        assert!(render_dashboard(&f, &tail, true).contains("[finished]"));
+    }
+
+    #[test]
+    fn base_mode_frame_renders_without_probe() {
+        let mut f = frame();
+        f.probe = None;
+        let text = render_dashboard(&f, &[], false);
+        assert!(text.contains("base (no sharing manager)"));
+        assert!(!text.contains("decisions (last"));
+    }
+
+    #[test]
+    fn residency_strip_orders_and_marks_priorities() {
+        let f = frame();
+        let strip = residency_strip(&f, 8);
+        assert_eq!(strip.len(), 8);
+        assert!(strip.contains('#'), "high-priority page missing: {strip:?}");
+        assert!(strip.contains('.'), "low-priority page missing: {strip:?}");
+        let empty = WatchFrame {
+            resident: vec![],
+            ..f
+        };
+        assert_eq!(residency_strip(&empty, 8), "        ");
+    }
+
+    #[test]
+    fn bar_clamps_and_fills() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 4), "####");
+    }
+
+    #[test]
+    fn watch_runs_a_tiny_spec_and_reports_like_a_plain_run() {
+        use scanshare::SharingConfig;
+        use scanshare_engine::SharingMode;
+        use scanshare_tpch::{generate, throughput_workload, TpchConfig};
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        let spec = throughput_workload(
+            &db,
+            2,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let mut buf = Vec::new();
+        let opts = WatchOptions {
+            tick_ms: 1,
+            clear: false,
+            tail: 4,
+        };
+        let r = run_watch(&db, &spec, &opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("scanshare watch"), "got: {text}");
+        assert!(text.contains("[finished]"));
+        assert!(text.contains("pages resident"));
+        // Watching changes nothing measured: virtual time, same report.
+        let plain = scanshare_engine::run_workload(&db, &spec).unwrap();
+        assert_eq!(r.makespan, plain.makespan);
+        assert_eq!(r.disk.pages_read, plain.disk.pages_read);
+        assert_eq!(r.decisions.len(), plain.decisions.len());
+        assert!(!r.decisions.is_empty());
+    }
+}

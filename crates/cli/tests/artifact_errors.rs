@@ -1,0 +1,116 @@
+//! Integration tests of the `scanshare` binary's artifact error paths:
+//! `trace`, `metrics`, and `explain` against missing or malformed files
+//! must exit non-zero with a single-line diagnostic on stderr — the
+//! contract scripted pipelines (CI, bench gates) rely on.
+
+use std::process::Command;
+
+fn scanshare(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn missing_artifact_is_exit_2_with_one_line_diagnostic() {
+    for sub in ["trace", "metrics", "explain"] {
+        let out = scanshare(&[sub, "--artifact", "/nonexistent/report.json"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{sub}: expected exit 2, got {:?}",
+            out.status
+        );
+        let err = stderr_of(&out);
+        assert_eq!(
+            err.trim_end().lines().count(),
+            1,
+            "{sub}: diagnostic must be one line, got: {err:?}"
+        );
+        assert!(
+            err.contains("cannot read /nonexistent/report.json"),
+            "{sub}: diagnostic must name the file, got: {err:?}"
+        );
+        assert!(out.stdout.is_empty(), "{sub}: no output on failure");
+    }
+}
+
+#[test]
+fn malformed_artifact_is_exit_2_and_names_the_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "scanshare_bad_artifact_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let path_str = path.to_str().unwrap();
+    for sub in ["metrics", "explain"] {
+        let out = scanshare(&[sub, "--artifact", path_str]);
+        assert_eq!(out.status.code(), Some(2), "{sub} on malformed artifact");
+        let err = stderr_of(&out);
+        assert_eq!(err.trim_end().lines().count(), 1, "{sub}: got {err:?}");
+        assert!(err.contains(path_str), "{sub}: must name the file: {err:?}");
+        assert!(err.contains("invalid report"), "{sub}: got {err:?}");
+    }
+    // `trace` accepts either a report or raw JSONL, so its diagnostic
+    // names both rejected interpretations.
+    let out = scanshare(&["trace", "--artifact", path_str]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert_eq!(err.trim_end().lines().count(), 1, "trace: got {err:?}");
+    assert!(
+        err.contains("neither a RunReport nor a JSONL trace"),
+        "trace: got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_of_unknown_scan_is_exit_2() {
+    // A structurally valid report with no decisions: --scan must fail
+    // with a one-line diagnostic, not print an empty narrative.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "scanshare_empty_report_{}.json",
+        std::process::id()
+    ));
+    // Generate a real (tiny, base-mode) artifact through the binary.
+    let spec_path = dir.join(format!("scanshare_spec_{}.json", std::process::id()));
+    let template = scanshare(&["spec-template"]);
+    assert!(template.status.success());
+    let mut spec: scanshare_cli::RunSpec = serde_json::from_slice(&template.stdout).unwrap();
+    spec.tpch = scanshare_tpch::TpchConfig::tiny();
+    spec.workload.mode = scanshare_engine::SharingMode::Base;
+    std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let run = scanshare(&[
+        "run",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--report",
+        path.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "run failed: {}", stderr_of(&run));
+
+    let out = scanshare(&[
+        "explain",
+        "--artifact",
+        path.to_str().unwrap(),
+        "--scan",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert_eq!(err.trim_end().lines().count(), 1, "got {err:?}");
+    assert!(err.contains("no decisions for scan 0"), "got {err:?}");
+    // Without --scan the same artifact explains its emptiness at exit 0.
+    let out = scanshare(&["explain", "--artifact", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no decisions recorded"));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&spec_path).ok();
+}

@@ -55,6 +55,7 @@
 
 pub mod anchor;
 pub mod config;
+pub mod decision;
 pub mod grouping;
 pub mod manager;
 pub mod obs;
@@ -64,6 +65,7 @@ pub mod stats;
 pub mod throttle;
 
 pub use config::{PlacementStrategy, SharingConfig};
+pub use decision::{DecisionEvent, DecisionLog, DecisionRecord, PlacementCandidate};
 pub use grouping::{GroupInfo, Role};
 pub use manager::{ManagerProbe, ScanProbe, ScanSharingManager, StartDecision, UpdateOutcome};
 pub use obs::{MetricsRegistry, MetricsSnapshot};

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use crate::anchor::AnchorTable;
 use crate::config::PlacementStrategy;
 use crate::config::SharingConfig;
+use crate::decision::{DecisionEvent, DecisionLog, PlacementCandidate};
 use crate::grouping::{find_leaders_trailers, GroupInfo, Groups, Role};
 use crate::placement::{best_start_optimal, best_start_practical, Trace};
 use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanState};
@@ -170,6 +171,9 @@ impl Inner {
 pub struct ScanSharingManager {
     cfg: SharingConfig,
     inner: Mutex<Inner>,
+    /// Optional decision-provenance sink; every policy decision is
+    /// recorded here when attached (see [`crate::decision`]).
+    decisions: Mutex<Option<DecisionLog>>,
 }
 
 impl ScanSharingManager {
@@ -186,12 +190,44 @@ impl ScanSharingManager {
                 next_scan: 0,
                 stats: SharingStats::default(),
             }),
+            decisions: Mutex::new(None),
         }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &SharingConfig {
         &self.cfg
+    }
+
+    /// Attach a decision-provenance log; subsequent policy decisions are
+    /// recorded into it. Clones of the log share the buffer, so the
+    /// caller keeps its handle to read the events back.
+    pub fn attach_decision_log(&self, log: DecisionLog) {
+        *self.decisions.lock() = Some(log);
+    }
+
+    /// The attached decision log, if any.
+    pub fn decision_log(&self) -> Option<DecisionLog> {
+        self.decisions.lock().clone()
+    }
+
+    fn emit(&self, at: SimTime, event: DecisionEvent) {
+        if let Some(log) = self.decisions.lock().as_ref() {
+            log.record(at, event);
+        }
+    }
+
+    /// Minimum absolute saving (pages) a placement candidate must offer,
+    /// as recorded on placement provenance events. `AlwaysAttach` joins
+    /// unconditionally, so its threshold is zero.
+    fn placement_threshold(&self) -> f64 {
+        if self.cfg.enable_placement
+            && self.cfg.placement_strategy != PlacementStrategy::AlwaysAttach
+        {
+            self.cfg.extent_pages as f64
+        } else {
+            0.0
+        }
     }
 
     /// Register a new scan and decide where it starts (`startSISCAN`).
@@ -201,8 +237,9 @@ impl ScanSharingManager {
         inner.next_scan += 1;
         inner.stats.scans_started += 1;
 
+        let mut candidates = Vec::new();
         let decision = if self.cfg.enable_placement {
-            self.place(&inner, &desc)
+            self.place(&inner, &desc, &mut candidates)
         } else {
             StartDecision::FromStart
         };
@@ -275,8 +312,37 @@ impl ScanSharingManager {
             }
             StartDecision::FromStart => inner.stats.scans_from_start += 1,
         }
+        let object = desc.object;
         let state = ScanState::new(id, desc, location, anchor, offset, now);
         inner.scans.insert(id, state);
+        let threshold_pages = self.placement_threshold();
+        match &decision {
+            StartDecision::FromStart => self.emit(
+                now,
+                DecisionEvent::GroupStart {
+                    scan: id,
+                    object,
+                    candidates,
+                    threshold_pages,
+                },
+            ),
+            StartDecision::JoinAt {
+                location,
+                scan,
+                back_up_pages,
+            } => self.emit(
+                now,
+                DecisionEvent::GroupJoin {
+                    scan: id,
+                    object,
+                    joined: *scan,
+                    location: *location,
+                    back_up_pages: *back_up_pages,
+                    candidates,
+                    threshold_pages,
+                },
+            ),
+        }
         (id, decision)
     }
 
@@ -295,7 +361,17 @@ impl ScanSharingManager {
     /// with `calculateReads`, and pick the best-saving candidate. With no
     /// ongoing scans, fall back to the most recently finished scan's
     /// location.
-    fn place(&self, inner: &Inner, desc: &ScanDesc) -> StartDecision {
+    ///
+    /// Every start location scored along the way — winners and rejected
+    /// candidates alike — is appended to `candidates`, so the provenance
+    /// event for the decision carries the full field the policy chose
+    /// from.
+    fn place(
+        &self,
+        inner: &Inner,
+        desc: &ScanDesc,
+        candidates: &mut Vec<PlacementCandidate>,
+    ) -> StartDecision {
         // Candidate members: ongoing scans on the same object, same kind,
         // whose *current key* lies inside the new scan's range (a scan
         // whose location is outside the range cannot be joined — §6).
@@ -327,6 +403,16 @@ impl ScanSharingManager {
                         && desc.contains_key(fin.location.key)
                         && fin.location.pos != UNKNOWN_POS
                     {
+                        // Leftover-cache candidate: at most a pool's worth
+                        // of the finished scan's trailing pages survives.
+                        let saving = self.cfg.pool_pages.min(desc.est_pages) as f64;
+                        candidates.push(PlacementCandidate {
+                            scan: None,
+                            location: fin.location,
+                            saving_pages: saving,
+                            score: saving / desc.est_pages.max(1) as f64,
+                            speed: 0.0,
+                        });
                         return StartDecision::JoinAt {
                             location: fin.location,
                             scan: None,
@@ -341,6 +427,16 @@ impl ScanSharingManager {
         // Attach strategy (QPipe baseline): join the ongoing scan with
         // the most remaining work, unconditionally.
         if self.cfg.placement_strategy == PlacementStrategy::AlwaysAttach {
+            for m in members.iter().filter(|m| m.location.pos != UNKNOWN_POS) {
+                let saving = m.remaining_pages.min(desc.est_pages) as f64;
+                candidates.push(PlacementCandidate {
+                    scan: Some(m.id),
+                    location: m.location,
+                    saving_pages: saving,
+                    score: saving / desc.est_pages.max(1) as f64,
+                    speed: m.speed,
+                });
+            }
             let target = members
                 .iter()
                 .filter(|m| m.location.pos != UNKNOWN_POS)
@@ -379,8 +475,15 @@ impl ScanSharingManager {
                 (desc.start_key as f64, desc.end_key as f64),
             ) {
                 let saving = c.estimate.baseline - c.estimate.reads;
+                let page = c.start.round().max(0.0) as u64;
+                candidates.push(PlacementCandidate {
+                    scan: None,
+                    location: Location::new(page as i64, page),
+                    saving_pages: saving,
+                    score: c.estimate.savings_per_page(),
+                    speed: 0.0,
+                });
                 if saving >= self.cfg.extent_pages as f64 {
-                    let page = c.start.round().max(0.0) as u64;
                     return StartDecision::JoinAt {
                         location: Location::new(page as i64, page),
                         scan: None,
@@ -424,11 +527,18 @@ impl ScanSharingManager {
                 // positive but useless per-page score over a tiny span
                 // (Figure 7's "sharing duration is limited" case).
                 let absolute_saving = c.estimate.baseline - c.estimate.reads;
+                let member = group_members[c.member];
+                let score = c.estimate.savings_per_page();
+                candidates.push(PlacementCandidate {
+                    scan: Some(member.id),
+                    location: member.location,
+                    saving_pages: absolute_saving,
+                    score,
+                    speed: member.speed,
+                });
                 if absolute_saving < self.cfg.extent_pages as f64 {
                     continue;
                 }
-                let member = group_members[c.member];
-                let score = c.estimate.savings_per_page();
                 if best.map(|(s, _, _)| score > s).unwrap_or(true) {
                     best = Some((score, member.id, member.location));
                 }
@@ -492,17 +602,107 @@ impl ScanSharingManager {
 
         let groups = inner.compute_groups(self.cfg.pool_pages);
         let role = groups.role(id).unwrap_or(Role::Singleton);
+        let group = groups.group_of(id).cloned();
 
+        // Provenance: role reclassification (first classification sets
+        // the baseline without an event).
+        {
+            let state = inner.scans.get_mut(&id).expect("scan present");
+            let prev = state.last_role;
+            state.last_role = Some(role);
+            if let (Some(prev), Some(g)) = (prev, group.as_ref()) {
+                if prev != role {
+                    self.emit(
+                        now,
+                        DecisionEvent::RoleChange {
+                            scan: id,
+                            group: g.anchor,
+                            from: prev,
+                            to: role,
+                            group_extent: g.extent,
+                            members: g.members.len(),
+                        },
+                    );
+                }
+            }
+        }
+
+        let threshold_pages = self.cfg.throttle_threshold_pages();
         let mut wait = scanshare_storage::SimDuration::ZERO;
         if self.cfg.enable_throttling && role == Role::Leader {
-            let group = groups.group_of(id).expect("leader has a group");
-            let trailer_speed = inner.scans[&group.trailer()].speed;
-            let distance = group.extent;
-            let state = inner.scans.get_mut(&id).expect("scan present");
-            wait = throttle::throttle(&self.cfg, state, distance, trailer_speed);
+            let g = group.as_ref().expect("leader has a group");
+            let trailer = g.trailer();
+            let trailer_speed = inner.scans[&trailer].speed;
+            let distance = g.extent;
+            let (exempt_before, was_throttled, accumulated, exempt_after, budget);
+            {
+                let state = inner.scans.get_mut(&id).expect("scan present");
+                exempt_before = state.throttle_exempt;
+                was_throttled = state.throttled;
+                wait = throttle::throttle(&self.cfg, state, distance, trailer_speed);
+                state.throttled = wait > scanshare_storage::SimDuration::ZERO;
+                accumulated = state.accumulated_slowdown;
+                exempt_after = state.throttle_exempt;
+                budget = throttle::slowdown_budget(&self.cfg, &state.desc);
+            }
             if wait > scanshare_storage::SimDuration::ZERO {
                 inner.stats.waits_injected += 1;
                 inner.stats.total_wait += wait;
+                self.emit(
+                    now,
+                    DecisionEvent::Throttle {
+                        scan: id,
+                        group: g.anchor,
+                        distance_pages: distance,
+                        threshold_pages,
+                        wait,
+                        accumulated_slowdown: accumulated,
+                        slowdown_budget: budget,
+                        fairness_cap: self.cfg.fairness_cap,
+                        trailer,
+                        trailer_speed,
+                    },
+                );
+            } else if !exempt_before && exempt_after {
+                self.emit(
+                    now,
+                    DecisionEvent::SlowdownCapHit {
+                        scan: id,
+                        accumulated_slowdown: accumulated,
+                        slowdown_budget: budget,
+                        fairness_cap: self.cfg.fairness_cap,
+                    },
+                );
+            } else if was_throttled {
+                self.emit(
+                    now,
+                    DecisionEvent::Unthrottle {
+                        scan: id,
+                        group: g.anchor,
+                        distance_pages: distance,
+                        threshold_pages,
+                    },
+                );
+            }
+        } else {
+            // No longer a throttling leader: a scan that was being slowed
+            // is implicitly released.
+            let state = inner.scans.get_mut(&id).expect("scan present");
+            if state.throttled {
+                state.throttled = false;
+                let (anchor, extent) = group
+                    .as_ref()
+                    .map(|g| (g.anchor, g.extent))
+                    .unwrap_or((state.anchor, 0));
+                self.emit(
+                    now,
+                    DecisionEvent::Unthrottle {
+                        scan: id,
+                        group: anchor,
+                        distance_pages: extent,
+                        threshold_pages,
+                    },
+                );
             }
         }
 
@@ -515,6 +715,24 @@ impl ScanSharingManager {
         } else {
             PagePriority::Normal
         };
+        // Provenance: the release priority for this scan's pages changed
+        // with its role (pages enter the pool at `Normal`).
+        {
+            let state = inner.scans.get_mut(&id).expect("scan present");
+            let prev = state.last_priority.unwrap_or(PagePriority::Normal);
+            state.last_priority = Some(priority);
+            if prev != priority {
+                self.emit(
+                    now,
+                    DecisionEvent::PageReprioritize {
+                        scan: id,
+                        role,
+                        from: prev,
+                        to: priority,
+                    },
+                );
+            }
+        }
         UpdateOutcome {
             wait,
             priority,
@@ -1007,6 +1225,193 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: ManagerProbe = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn decision_log_captures_placement_and_throttle_provenance() {
+        use crate::decision::{DecisionEvent, DecisionLog};
+        let m = mgr(1000);
+        let log = DecisionLog::new(256);
+        m.attach_decision_log(log.clone());
+        assert!(m.decision_log().is_some());
+
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        // Leader sprints 200 pages while the trailer crawls 40 -> distance
+        // 160 > threshold 32: a throttle fires.
+        m.update_location(s1, t2, Location::new(700, 700), 200);
+        m.update_location(s2, t2, Location::new(540, 540), 40);
+
+        let events: Vec<_> = log.records().into_iter().map(|r| r.event).collect();
+        // s1 opened its own group with no candidates to consider.
+        assert!(matches!(
+            &events[0],
+            DecisionEvent::GroupStart { scan, candidates, .. }
+                if *scan == s1 && candidates.is_empty()
+        ));
+        // s2 joined s1, and the candidate field names s1 with its score.
+        let join = events
+            .iter()
+            .find_map(|e| match e {
+                DecisionEvent::GroupJoin {
+                    scan,
+                    joined,
+                    candidates,
+                    threshold_pages,
+                    ..
+                } if *scan == s2 => Some((joined, candidates, threshold_pages)),
+                _ => None,
+            })
+            .expect("GroupJoin for s2");
+        assert_eq!(*join.0, Some(s1));
+        assert_eq!(join.1.len(), 1);
+        assert_eq!(join.1[0].scan, Some(s1));
+        assert!(join.1[0].saving_pages >= *join.2);
+        // The throttle decision carries distance, threshold, budget, cap.
+        let throttle = events
+            .iter()
+            .find_map(|e| match e {
+                DecisionEvent::Throttle {
+                    scan,
+                    distance_pages,
+                    threshold_pages,
+                    wait,
+                    slowdown_budget,
+                    fairness_cap,
+                    trailer,
+                    ..
+                } if *scan == s1 => Some((
+                    *distance_pages,
+                    *threshold_pages,
+                    *wait,
+                    *slowdown_budget,
+                    *fairness_cap,
+                    *trailer,
+                )),
+                _ => None,
+            })
+            .expect("Throttle for s1");
+        // At the leader's update the trailer is still at page 500, so
+        // the recorded distance is 700 - 500 = 200.
+        assert_eq!(throttle.0, 200);
+        assert_eq!(throttle.1, 32);
+        assert!(throttle.2 > SimDuration::ZERO);
+        assert_eq!(throttle.3, SimDuration::from_secs(80));
+        assert!((throttle.4 - 0.8).abs() < 1e-9);
+        assert_eq!(throttle.5, s2);
+        // Role flips were recorded (s1: singleton -> leader).
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DecisionEvent::RoleChange { scan, to: Role::Leader, .. } if *scan == s1
+        )));
+        // The leader's release priority moved Normal -> High.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DecisionEvent::PageReprioritize {
+                scan,
+                from: PagePriority::Normal,
+                to: PagePriority::High,
+                ..
+            } if *scan == s1
+        )));
+    }
+
+    #[test]
+    fn caught_up_leader_emits_unthrottle() {
+        use crate::decision::{DecisionEvent, DecisionLog};
+        let m = mgr(1000);
+        let log = DecisionLog::new(256);
+        m.attach_decision_log(log.clone());
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        m.update_location(s1, t2, Location::new(700, 700), 200);
+        m.update_location(s2, t2, Location::new(540, 540), 40);
+        // The trailer closes the gap; the leader's next update finds the
+        // distance back inside the threshold.
+        let t3 = SimTime::from_secs(7);
+        m.update_location(s2, t3, Location::new(690, 690), 150);
+        let t4 = SimTime::from_secs(8);
+        let o = m.update_location(s1, t4, Location::new(710, 710), 10);
+        assert_eq!(o.wait, SimDuration::ZERO);
+        let unthrottle = log
+            .records()
+            .into_iter()
+            .find_map(|r| match r.event {
+                DecisionEvent::Unthrottle {
+                    scan,
+                    distance_pages,
+                    threshold_pages,
+                    ..
+                } if scan == s1 => Some((distance_pages, threshold_pages)),
+                _ => None,
+            })
+            .expect("Unthrottle for s1");
+        assert_eq!(unthrottle.0, 20);
+        assert_eq!(unthrottle.1, 32);
+    }
+
+    #[test]
+    fn exhausted_budget_emits_slowdown_cap_hit() {
+        use crate::decision::{DecisionEvent, DecisionLog};
+        let m = mgr(1000);
+        let log = DecisionLog::new(256);
+        m.attach_decision_log(log.clone());
+        // Leader with a tiny 1s estimate -> 0.8s budget; trailer so slow
+        // (est 10_000s) every raw wait clamps to max_wait 500ms.
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 1), SimTime::ZERO);
+        let t1 = SimTime::from_millis(100);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (_s2, _) = m.start_scan(table_desc(0, 10_000, 10_000), t1);
+        // Three leader updates at ever-growing distance: grants 500ms,
+        // then 300ms, then the budget is gone and the cap-hit fires.
+        let mut pos = 700i64;
+        for step in 1..=3u64 {
+            let t = SimTime::from_millis(100 + step * 100);
+            m.update_location(s1, t, Location::new(pos, pos as u64), 200);
+            pos += 200;
+        }
+        let events: Vec<_> = log.records().into_iter().map(|r| r.event).collect();
+        let waits: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                DecisionEvent::Throttle { scan, wait, .. } if *scan == s1 => Some(*wait),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            waits,
+            vec![SimDuration::from_millis(500), SimDuration::from_millis(300)]
+        );
+        let cap = events
+            .iter()
+            .find_map(|e| match e {
+                DecisionEvent::SlowdownCapHit {
+                    scan,
+                    accumulated_slowdown,
+                    slowdown_budget,
+                    fairness_cap,
+                } if *scan == s1 => Some((*accumulated_slowdown, *slowdown_budget, *fairness_cap)),
+                _ => None,
+            })
+            .expect("SlowdownCapHit for s1");
+        assert_eq!(cap.0, SimDuration::from_millis(800));
+        assert_eq!(cap.1, SimDuration::from_millis(800));
+        assert!((cap.2 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_log_attached_means_no_overhead_or_panic() {
+        let m = mgr(1000);
+        assert!(m.decision_log().is_none());
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        m.update_location(s1, SimTime::from_secs(1), Location::new(100, 100), 100);
+        m.end_scan(s1, SimTime::from_secs(2));
     }
 
     #[test]

@@ -588,6 +588,92 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_at_power_of_two_bucket_boundaries() {
+        // Samples sitting exactly on bucket edges: 2^i is the *first*
+        // value of bucket i+1, 2^i - 1 the *last* of bucket i. Past the
+        // window, a quantile answers with its bucket's inclusive upper
+        // bound, so boundary values must map to the right bucket.
+        let h = Histogram::new();
+        // 300 samples of 64 (bucket 7, le 127) and 300 of 63 (bucket 6,
+        // le 63): count 600 > EXACT_WINDOW forces the bucketed path.
+        for _ in 0..300 {
+            h.record(63);
+            h.record(64);
+        }
+        let s = h.snapshot("edge");
+        assert_eq!(s.count, 600);
+        assert_eq!(
+            s.buckets,
+            vec![
+                HistogramBucket { le: 63, count: 300 },
+                HistogramBucket {
+                    le: 127,
+                    count: 300
+                },
+            ]
+        );
+        // Rank 300 is the last sample of the le=63 bucket; rank 301 the
+        // first of the le=127 bucket (clamped to the observed max 64).
+        assert_eq!(s.quantile(0.5), 63);
+        assert_eq!(s.quantile(0.51), 64);
+        assert_eq!(s.p99, 64);
+
+        // A pure power-of-two ladder: each value its own bucket.
+        let h = Histogram::new();
+        for i in 0..10u32 {
+            for _ in 0..100 {
+                h.record(1u64 << i);
+            }
+        }
+        let s = h.snapshot("ladder");
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.buckets.len(), 10);
+        for (i, b) in s.buckets.iter().enumerate() {
+            assert_eq!(b.le, (1u64 << (i + 1)) - 1);
+            assert_eq!(b.count, 100);
+        }
+        // The p50 rank (500) lands in bucket 5 (values of 16, le 31).
+        assert_eq!(s.quantile(0.5), 31);
+        // p100 clamps the le=1023 bound to the observed max 512.
+        assert_eq!(s.quantile(1.0), 512);
+    }
+
+    #[test]
+    fn quantile_crossover_at_exactly_the_window_size() {
+        // With count == EXACT_WINDOW every sample is in the window and
+        // quantiles are exact; one more sample flips to bucket bounds.
+        let h = Histogram::new();
+        for v in 1..=EXACT_WINDOW as u64 {
+            h.record(v);
+        }
+        let s = h.snapshot("exact");
+        assert_eq!(s.count as usize, EXACT_WINDOW);
+        assert_eq!(s.window.len(), EXACT_WINDOW);
+        // Exact nearest-rank: p50 of 1..=256 is 128, p95 is 244 (rank
+        // ceil(0.95*256) = 244), p99 is 254 (rank ceil(0.99*256)).
+        assert_eq!(s.p50, 128);
+        assert_eq!(s.p95, 244);
+        assert_eq!(s.p99, 254);
+
+        // Sample 257 evicts nothing (the window keeps the first 256) but
+        // the count now exceeds it: the same quantiles become bucket
+        // upper bounds.
+        h.record(EXACT_WINDOW as u64 + 1);
+        let s = h.snapshot("bucketed");
+        assert_eq!(s.count as usize, EXACT_WINDOW + 1);
+        assert_eq!(s.window.len(), EXACT_WINDOW, "window retains first 256");
+        // p50 rank 129 falls in the le=255 bucket [128, 255]; p95 rank
+        // 245 and p99 rank 255 do too.
+        assert_eq!(s.p50, 255);
+        assert_eq!(s.p95, 255);
+        assert_eq!(s.p99, 255);
+        // p100 rank 257 lands in the le=511 bucket, clamped to max 257.
+        assert_eq!(s.quantile(1.0), 257);
+        // The estimate never undershoots what the exact path reported.
+        assert!(s.p50 >= 128 && s.p95 >= 244 && s.p99 >= 254);
+    }
+
+    #[test]
     fn empty_histogram_is_all_zero() {
         let s = Histogram::new().snapshot("x");
         assert_eq!(s.count, 0);

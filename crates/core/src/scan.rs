@@ -1,9 +1,10 @@
 //! Scan identities, locations, and the per-scan attribute record of §5.2.
 
-use scanshare_storage::{SimDuration, SimTime};
+use scanshare_storage::{PagePriority, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::anchor::AnchorId;
+use crate::grouping::Role;
 
 /// Identifier of a registered scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -142,6 +143,15 @@ pub(crate) struct ScanState {
     /// Set once the fairness cap is hit; the scan is never throttled again
     /// ("not slowed down anymore until it finishes").
     pub throttle_exempt: bool,
+    /// Role reported by the last grouping pass (`None` before the first
+    /// `update_location`), so role flips can be detected for provenance.
+    pub last_role: Option<Role>,
+    /// Whether the last throttle decision injected a wait (drives the
+    /// `Unthrottle` provenance event).
+    pub throttled: bool,
+    /// Release priority chosen by the last `update_location` (`None`
+    /// before the first call; releases start out `Normal`).
+    pub last_priority: Option<PagePriority>,
 }
 
 impl ScanState {
@@ -166,6 +176,9 @@ impl ScanState {
             last_update: now,
             accumulated_slowdown: SimDuration::ZERO,
             throttle_exempt: false,
+            last_role: None,
+            throttled: false,
+            last_priority: None,
         }
     }
 

@@ -39,4 +39,7 @@ pub use error::{EngineError, EngineResult};
 pub use metrics::{Breakdown, QueryRecord, RunReport};
 pub use query::{Access, AggSpec, Pred, Query, QueryResult, ScanSpec};
 pub use trace::{TraceEvent, TraceRecord, Tracer};
-pub use workload::{run_workload, run_workload_traced, SharingMode, Stream, WorkloadSpec};
+pub use workload::{
+    run_workload, run_workload_hooked, run_workload_traced, RunHooks, SharingMode, Stream,
+    WatchFrame, WatchObserver, WorkloadSpec,
+};

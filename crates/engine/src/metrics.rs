@@ -103,6 +103,11 @@ pub struct RunReport {
     /// otherwise) — what `scanshare trace` replays.
     #[serde(default)]
     pub trace: Vec<TraceRecord>,
+    /// Decision-provenance events recorded by the sharing manager
+    /// (empty in base mode and in older artifacts) — what `scanshare
+    /// explain` narrates.
+    #[serde(default)]
+    pub decisions: Vec<scanshare::DecisionRecord>,
 }
 
 impl RunReport {

@@ -10,8 +10,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use scanshare::{MetricsRegistry, ScanSharingManager, SharingConfig};
-use scanshare_storage::{BufferPool, PoolConfig, ReplacementPolicy, SimDuration, SimTime};
+use scanshare::{DecisionLog, ManagerProbe, MetricsRegistry, ScanSharingManager, SharingConfig};
+use scanshare_storage::{
+    BufferPool, DiskStats, PoolConfig, PoolStats, ReplacementPolicy, ResidentPage, SimDuration,
+    SimTime,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::EngineConfig;
@@ -165,9 +168,53 @@ impl<'q> StreamTask<'q> {
     }
 }
 
+/// A point-in-time view of a running workload, delivered to the
+/// [`RunHooks::observer`] callback at every metrics-sample tick — the
+/// data source for `scanshare watch`.
+#[derive(Debug, Clone)]
+pub struct WatchFrame {
+    /// Virtual time of the sample.
+    pub at: SimTime,
+    /// Sharing-manager introspection (groups, per-scan throttle state);
+    /// `None` in base mode.
+    pub probe: Option<ManagerProbe>,
+    /// Buffer pool counters so far.
+    pub pool: PoolStats,
+    /// Pool capacity in pages (for residency percentages).
+    pub pool_capacity: usize,
+    /// Every resident page with its priority and pin state, sorted by
+    /// page id — the residency heatmap.
+    pub resident: Vec<ResidentPage>,
+    /// Disk counters so far.
+    pub disk: DiskStats,
+    /// Queries completed so far across all streams.
+    pub queries_done: usize,
+}
+
+/// Shareable observer callback invoked with each [`WatchFrame`].
+pub type WatchObserver = Arc<dyn Fn(&WatchFrame) + Send + Sync>;
+
+/// Optional instrumentation attached to a run. All hooks compose: a run
+/// can be traced, decision-logged, and watched at the same time.
+#[derive(Default)]
+pub struct RunHooks {
+    /// Event tracer; its retained records are embedded in the report.
+    pub tracer: Option<crate::trace::Tracer>,
+    /// Decision-provenance log handed to the sharing manager. When
+    /// `None`, sharing-mode runs still attach a fresh log (capacity
+    /// [`DEFAULT_DECISION_CAP`]) so every report can be explained.
+    pub decisions: Option<DecisionLog>,
+    /// Callback invoked at every metrics-sample tick and once at the
+    /// makespan, in event-loop order.
+    pub observer: Option<WatchObserver>,
+}
+
+/// Decision-log capacity used when no explicit log is hooked in.
+pub const DEFAULT_DECISION_CAP: usize = 1 << 16;
+
 /// Run a workload to completion and report the measurements.
 pub fn run_workload(db: &Database, spec: &WorkloadSpec) -> EngineResult<RunReport> {
-    run_inner(db, spec, None)
+    run_inner(db, spec, RunHooks::default())
 }
 
 /// Like [`run_workload`], but with a [`crate::trace::Tracer`] attached;
@@ -177,14 +224,27 @@ pub fn run_workload_traced(
     spec: &WorkloadSpec,
     tracer: crate::trace::Tracer,
 ) -> EngineResult<RunReport> {
-    run_inner(db, spec, Some(tracer))
+    run_inner(
+        db,
+        spec,
+        RunHooks {
+            tracer: Some(tracer),
+            ..RunHooks::default()
+        },
+    )
 }
 
-fn run_inner(
+/// Like [`run_workload`], but with arbitrary [`RunHooks`] attached —
+/// what `scanshare watch` uses to stream [`WatchFrame`]s off the run.
+pub fn run_workload_hooked(
     db: &Database,
     spec: &WorkloadSpec,
-    tracer: Option<crate::trace::Tracer>,
+    hooks: RunHooks,
 ) -> EngineResult<RunReport> {
+    run_inner(db, spec, hooks)
+}
+
+fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResult<RunReport> {
     let (policy, mgr) = match &spec.mode {
         SharingMode::Base => (ReplacementPolicy::Lru, None),
         SharingMode::BasePolicy(p) => (*p, None),
@@ -199,12 +259,22 @@ fn run_inner(
             } else {
                 ReplacementPolicy::Lru
             };
-            (policy, Some(Arc::new(ScanSharingManager::new(cfg))))
+            let mgr = Arc::new(ScanSharingManager::new(cfg));
+            // Always record provenance in sharing mode: a saved report
+            // should be explainable even when nobody hooked a log in.
+            mgr.attach_decision_log(
+                hooks
+                    .decisions
+                    .clone()
+                    .unwrap_or_else(|| DecisionLog::new(DEFAULT_DECISION_CAP)),
+            );
+            (policy, Some(mgr))
         }
     };
+    let observer = hooks.observer;
     let pool = BufferPool::new(PoolConfig::new(spec.pool_pages, policy));
     let mut world = ExecWorld::new(db.store(), pool, spec.engine.clone(), mgr.clone());
-    world.tracer = tracer;
+    world.tracer = hooks.tracer;
 
     let mut tasks: Vec<StreamTask<'_>> = spec
         .streams
@@ -230,6 +300,9 @@ fn run_inner(
             // reflects the world as of its nominal timestamp.
             while next_sample <= now {
                 sample_metrics(&world, mgr.as_deref(), next_sample);
+                if let Some(obs) = &observer {
+                    obs(&watch_frame(&world, mgr.as_deref(), &tasks, next_sample));
+                }
                 next_sample += interval;
             }
         }
@@ -243,6 +316,9 @@ fn run_inner(
     }
     // One closing sample so every series extends to the makespan.
     sample_metrics(&world, mgr.as_deref(), makespan);
+    if let Some(obs) = &observer {
+        obs(&watch_frame(&world, mgr.as_deref(), &tasks, makespan));
+    }
 
     let stream_elapsed: Vec<SimDuration> = tasks
         .iter()
@@ -274,7 +350,30 @@ fn run_inner(
         sharing: mgr.as_ref().map(|m| m.stats()).unwrap_or_default(),
         metrics: world.metrics.snapshot(makespan),
         trace,
+        decisions: mgr
+            .as_ref()
+            .and_then(|m| m.decision_log())
+            .map(|d| d.records())
+            .unwrap_or_default(),
     })
+}
+
+/// Assemble the [`WatchFrame`] for one sample tick.
+fn watch_frame(
+    world: &ExecWorld<'_>,
+    mgr: Option<&ScanSharingManager>,
+    tasks: &[StreamTask<'_>],
+    at: SimTime,
+) -> WatchFrame {
+    WatchFrame {
+        at,
+        probe: mgr.map(|m| m.probe()),
+        pool: world.pool.stats().clone(),
+        pool_capacity: world.pool.capacity(),
+        resident: world.pool.resident_pages(),
+        disk: world.disk.stats(),
+        queries_done: tasks.iter().map(|t| t.records.len()).sum(),
+    }
 }
 
 /// Record one observation of every sampled signal at virtual time `at`:
@@ -696,6 +795,111 @@ mod tests {
         // An untraced run embeds nothing.
         let quiet = run_workload(&db, &spec).unwrap();
         assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn shared_run_embeds_decision_provenance() {
+        use scanshare::DecisionEvent;
+        let db = build_db();
+        // Fast leader + slow trailer over the same range, so the log
+        // covers grouping, throttling, and page reprioritisation.
+        let fast = q6_like("fast", 0, 11);
+        let mut slow = q6_like("slow", 0, 11);
+        slow.scans[0].cpu = CpuClass::cpu_bound();
+        let streams = vec![
+            Stream {
+                queries: vec![fast],
+                start_offset: SimDuration::ZERO,
+            },
+            Stream {
+                queries: vec![slow],
+                start_offset: SimDuration::from_millis(10),
+            },
+        ];
+        let spec = spec(
+            &db,
+            streams,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let r = run_workload(&db, &spec).unwrap();
+        assert!(!r.decisions.is_empty(), "sharing run must embed decisions");
+        // Per-scan the log is time-ordered (the global log interleaves
+        // streams whose steps complete at different times), and it
+        // covers the decisive event kinds.
+        for scan in r.decisions.iter().map(|d| d.event.scan()) {
+            let times: Vec<_> = r
+                .decisions
+                .iter()
+                .filter(|d| d.event.scan() == scan)
+                .map(|d| d.at)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let has =
+            |pred: &dyn Fn(&DecisionEvent) -> bool| r.decisions.iter().any(|d| pred(&d.event));
+        assert!(has(&|e| matches!(e, DecisionEvent::GroupStart { .. })));
+        assert!(has(&|e| matches!(e, DecisionEvent::GroupJoin { .. })));
+        assert!(has(&|e| matches!(e, DecisionEvent::Throttle { .. })));
+        assert!(has(&|e| matches!(e, DecisionEvent::RoleChange { .. })));
+        // Base mode embeds none.
+        let mut base_spec = spec.clone();
+        base_spec.mode = SharingMode::Base;
+        let base = run_workload(&db, &base_spec).unwrap();
+        assert!(base.decisions.is_empty());
+        // A caller-supplied log sees the same records the report embeds.
+        let log = DecisionLog::new(1024);
+        let hooked = run_workload_hooked(
+            &db,
+            &spec,
+            RunHooks {
+                decisions: Some(log.clone()),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hooked.decisions.len(), log.len());
+        assert!(!hooked.decisions.is_empty());
+    }
+
+    #[test]
+    fn watch_observer_streams_frames_in_time_order() {
+        use std::sync::Mutex;
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let spec = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let frames: Arc<Mutex<Vec<WatchFrame>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = frames.clone();
+        let r = run_workload_hooked(
+            &db,
+            &spec,
+            RunHooks {
+                observer: Some(Arc::new(move |f: &WatchFrame| {
+                    sink.lock().unwrap().push(f.clone());
+                })),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap();
+        let frames = frames.lock().unwrap();
+        assert!(frames.len() > 1, "expected one frame per sample tick");
+        assert!(frames.windows(2).all(|w| w[0].at <= w[1].at));
+        // The closing frame reflects the finished run.
+        let last = frames.last().unwrap();
+        assert_eq!(last.at, SimTime::ZERO + r.makespan);
+        assert_eq!(last.queries_done, r.queries.len());
+        assert_eq!(last.pool_capacity, spec.pool_pages);
+        assert!(last.resident.len() <= last.pool_capacity);
+        // Sharing mode attaches a probe; mid-run some frame saw scans.
+        assert!(frames.iter().all(|f| f.probe.is_some()));
+        assert!(frames
+            .iter()
+            .any(|f| !f.probe.as_ref().unwrap().scans.is_empty()));
+        // Residency never exceeds capacity and pages carry priorities.
+        assert!(frames.iter().any(|f| !f.resident.is_empty()));
     }
 
     #[test]

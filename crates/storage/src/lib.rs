@@ -38,7 +38,9 @@ pub use array::DiskArray;
 pub use disk::{Disk, DiskConfig, DiskStats, ReadCompletion};
 pub use error::{StorageError, StorageResult};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
-pub use pool::{BufferPool, FixOutcome, PagePriority, PoolConfig, PoolStats, ReplacementPolicy};
+pub use pool::{
+    BufferPool, FixOutcome, PagePriority, PoolConfig, PoolStats, ReplacementPolicy, ResidentPage,
+};
 pub use series::TimeSeries;
 pub use sim::{SimDuration, SimTime};
 pub use store::FileStore;

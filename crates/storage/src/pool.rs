@@ -83,6 +83,11 @@ pub struct PoolStats {
     pub misses: u64,
     /// Frames victimized to make room.
     pub evictions: u64,
+    /// Releases whose priority hint *changed* the frame's priority — the
+    /// release-path re-prioritizations of §7.3 (leader marks pages High,
+    /// trailer marks them Low). Absent in older artifacts.
+    #[serde(default)]
+    pub reprioritizations: u64,
 }
 
 impl PoolStats {
@@ -94,6 +99,18 @@ impl PoolStats {
             self.hits as f64 / self.logical_reads as f64
         }
     }
+}
+
+/// One resident frame, as reported by [`BufferPool::resident_pages`] —
+/// what a live dashboard needs to draw a residency heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidentPage {
+    /// The resident page.
+    pub id: PageId,
+    /// Its current release priority.
+    pub priority: PagePriority,
+    /// Whether it is pinned right now.
+    pub pinned: bool,
 }
 
 /// Result of a `fix` call.
@@ -281,6 +298,9 @@ impl BufferPool {
                 return Err(StorageError::PinViolation(id));
             }
             frame.pin_count -= 1;
+            if frame.priority != priority {
+                self.stats.reprioritizations += 1;
+            }
             frame.priority = priority;
         }
         let frame = &self.frames[&id];
@@ -294,6 +314,22 @@ impl BufferPool {
     /// The page that would be evicted next, if any (for tests/inspection).
     pub fn next_victim(&self) -> Option<PageId> {
         self.candidates.iter().next().map(|&(_, _, id)| id)
+    }
+
+    /// Snapshot of every resident frame in page-id order — the raw
+    /// material for a pool-residency heatmap.
+    pub fn resident_pages(&self) -> Vec<ResidentPage> {
+        let mut out: Vec<ResidentPage> = self
+            .frames
+            .iter()
+            .map(|(&id, f)| ResidentPage {
+                id,
+                priority: f.priority,
+                pinned: f.pin_count > 0,
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
     }
 
     /// Drop one unpinned resident page (no-op if absent or pinned).
@@ -531,6 +567,55 @@ mod tests {
         visit(&mut p, pid(0), PagePriority::High);
         visit(&mut p, pid(1), PagePriority::Low);
         assert_eq!(p.next_victim(), Some(pid(0)));
+    }
+
+    #[test]
+    fn resident_pages_snapshot_reports_priority_and_pins() {
+        let mut p = pool(3, ReplacementPolicy::PriorityLru);
+        visit(&mut p, pid(2), PagePriority::High);
+        visit(&mut p, pid(0), PagePriority::Low);
+        assert!(matches!(p.fix(pid(1)), FixOutcome::Miss));
+        p.complete_miss(pid(1), buf(1)).unwrap(); // left pinned
+        let resident = p.resident_pages();
+        assert_eq!(
+            resident,
+            vec![
+                ResidentPage {
+                    id: pid(0),
+                    priority: PagePriority::Low,
+                    pinned: false
+                },
+                ResidentPage {
+                    id: pid(1),
+                    priority: PagePriority::Normal,
+                    pinned: true
+                },
+                ResidentPage {
+                    id: pid(2),
+                    priority: PagePriority::High,
+                    pinned: false
+                },
+            ]
+        );
+        p.release(pid(1), PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn reprioritizations_count_only_changes() {
+        let mut p = pool(2, ReplacementPolicy::PriorityLru);
+        // First visit installs at Normal and releases at Normal: no change.
+        visit(&mut p, pid(0), PagePriority::Normal);
+        assert_eq!(p.stats().reprioritizations, 0);
+        // Leader bumps it High, trailer drops it Low, a re-release at the
+        // same priority is not a change.
+        visit(&mut p, pid(0), PagePriority::High);
+        visit(&mut p, pid(0), PagePriority::Low);
+        visit(&mut p, pid(0), PagePriority::Low);
+        assert_eq!(p.stats().reprioritizations, 2);
+        // Old artifacts without the field deserialize to zero.
+        let legacy = r#"{"logical_reads":4,"hits":3,"misses":1,"evictions":0}"#;
+        let stats: PoolStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(stats.reprioritizations, 0);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Performance-regression gate: run the pinned deterministic smoke
+# workload and diff its headline metrics against the committed baseline.
+# The simulation runs on virtual time, so the numbers are bit-identical
+# across machines — any drift past a metric's tolerance is a real change
+# in engine behavior.
+#
+# Usage:
+#   scripts/bench_gate.sh                    # gate against the committed baseline
+#   scripts/bench_gate.sh path/to/other.json # gate against another baseline
+#   scripts/bench_gate.sh --rebaseline       # intentionally re-pin the baseline
+#
+# Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-results/baseline_smoke.json}"
+
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    exec cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+        --write-baseline results/baseline_smoke.json
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: baseline $BASELINE not found" >&2
+    echo "  (re)create it with: scripts/bench_gate.sh --rebaseline" >&2
+    exit 2
+fi
+
+exec cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate "$BASELINE"

@@ -12,6 +12,9 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
-cargo test --offline -q
+cargo test --offline --workspace -q
+
+echo "== perf-regression gate (smoke baseline) =="
+scripts/bench_gate.sh results/baseline_smoke.json
 
 echo "CI green."
