@@ -1,6 +1,17 @@
-//! Buffer pool fix/release throughput under both replacement policies.
+//! Buffer pool fix/release throughput under every replacement policy.
 //! The priority-aware policy must not cost measurably more than LRU —
 //! the paper's whole approach assumes the caching system stays cheap.
+//!
+//! Besides the historical mixed workload, the pool's three distinct hot
+//! paths are benchmarked separately so a regression in any one of them
+//! is visible in isolation:
+//!
+//! * **hit path** — fix/release cycling over resident pages (no
+//!   eviction, no priority change),
+//! * **evict path** — every fix misses against a full pool, forcing a
+//!   victim selection and a frame recycle,
+//! * **reprioritize path** — hits whose release flips the priority
+//!   class (the leader/trailer re-prioritizations of §7.3).
 
 use scanshare_bench::micro::bench;
 use scanshare_storage::{
@@ -8,6 +19,12 @@ use scanshare_storage::{
     ReplacementPolicy,
 };
 use std::hint::black_box;
+
+const POLICIES: [ReplacementPolicy; 3] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::PriorityLru,
+    ReplacementPolicy::Lru2,
+];
 
 fn run_mixed(pool: &mut BufferPool, buf: &scanshare_storage::PageBuf, i: u64) {
     // 3:1 hot/cold mix over a working set twice the pool size.
@@ -29,10 +46,23 @@ fn run_mixed(pool: &mut BufferPool, buf: &scanshare_storage::PageBuf, i: u64) {
     pool.release(id, prio).unwrap();
 }
 
+/// Fill `pool` with pages `0..n`, all unpinned at Normal priority.
+fn preload(pool: &mut BufferPool, buf: &scanshare_storage::PageBuf, n: u32) {
+    for p in 0..n {
+        let id = PageId::new(FileId(0), p);
+        match pool.fix(id) {
+            FixOutcome::Hit(_) => {}
+            FixOutcome::Miss => pool.complete_miss(id, buf.clone()).unwrap(),
+        }
+        pool.release(id, PagePriority::Normal).unwrap();
+    }
+}
+
 fn main() {
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::PriorityLru] {
+    let buf = zeroed_page().freeze();
+
+    for policy in POLICIES {
         let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
-        let buf = zeroed_page().freeze();
         let mut i = 0u64;
         bench(&format!("pool_fix_release/{policy:?}"), || {
             i += 1;
@@ -41,8 +71,58 @@ fn main() {
         });
     }
 
+    // Hit path: every fix lands on a resident page.
+    for policy in POLICIES {
+        let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
+        preload(&mut pool, &buf, 512);
+        let mut i = 0u64;
+        bench(&format!("pool_hit_path/{policy:?}"), || {
+            i += 1;
+            let id = PageId::new(FileId(0), (i % 512) as u32);
+            let out = pool.fix(id);
+            black_box(&out);
+            pool.release(id, PagePriority::Normal).unwrap();
+        });
+    }
+
+    // Evict path: every fix misses against a full pool, so each
+    // iteration selects a victim and recycles its frame.
+    for policy in POLICIES {
+        let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
+        preload(&mut pool, &buf, 1024);
+        let mut i = 0u64;
+        bench(&format!("pool_evict_path/{policy:?}"), || {
+            i += 1;
+            let id = PageId::new(FileId(0), 1024 + (i % (1 << 20)) as u32);
+            assert!(matches!(pool.fix(id), FixOutcome::Miss));
+            pool.complete_miss(id, buf.clone()).unwrap();
+            pool.release(id, PagePriority::Normal).unwrap();
+            black_box(pool.len());
+        });
+    }
+
+    // Reprioritize path: hits whose release flips the priority class —
+    // the leader/trailer handoff, and the path the old BTreeSet-keyed
+    // pool paid a remove+insert for.
+    for policy in POLICIES {
+        let mut pool = BufferPool::new(PoolConfig::new(1024, policy));
+        preload(&mut pool, &buf, 512);
+        let mut i = 0u64;
+        bench(&format!("pool_reprioritize_path/{policy:?}"), || {
+            i += 1;
+            let id = PageId::new(FileId(0), (i % 512) as u32);
+            let out = pool.fix(id);
+            black_box(&out);
+            let prio = if i.is_multiple_of(2) {
+                PagePriority::Low
+            } else {
+                PagePriority::High
+            };
+            pool.release(id, prio).unwrap();
+        });
+    }
+
     let mut pool = BufferPool::new(PoolConfig::new(64, ReplacementPolicy::PriorityLru));
-    let buf = zeroed_page().freeze();
     let id = PageId::new(FileId(0), 7);
     match pool.fix(id) {
         FixOutcome::Hit(_) => {}

@@ -1,13 +1,16 @@
 //! End-to-end micro workload through the whole stack (generator →
 //! executor → disk model), base vs scan-sharing: the host-time cost of
-//! simulating one overlapping 3-scan workload.
+//! simulating one overlapping 3-scan workload — plus the headline
+//! simulator-throughput figure (simulated pages per wall-clock second)
+//! on the same pinned smoke workload the CI perf gate runs.
 
 use scanshare::SharingConfig;
 use scanshare_bench::micro::bench;
 use scanshare_engine::{run_workload, SharingMode};
 use scanshare_storage::SimDuration;
-use scanshare_tpch::{generate, q6, staggered_workload, TpchConfig};
+use scanshare_tpch::{generate, q6, staggered_workload, throughput_workload, TpchConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn main() {
     let cfg = TpchConfig::tiny();
@@ -21,6 +24,33 @@ fn main() {
         bench(&format!("staggered_q6_sim/{name}"), || {
             black_box(run_workload(&db, &spec).unwrap());
         });
+    }
+
+    // The pinned smoke workload (bench_gate's): host time per run and
+    // the derived simulated-pages-per-wall-second throughput. "Pages"
+    // are buffer-pool fixes — every page visit a scan pays for.
+    let months = cfg.months as i64;
+    for (name, mode) in [
+        ("base", SharingMode::Base),
+        ("ss", SharingMode::ScanSharing(SharingConfig::new(0))),
+    ] {
+        let spec = throughput_workload(&db, 3, months, cfg.seed, mode);
+        bench(&format!("smoke_sim/{name}"), || {
+            black_box(run_workload(&db, &spec).unwrap());
+        });
+        // Explicit throughput figure: average over a fixed batch.
+        let runs = 20;
+        let t0 = Instant::now();
+        let mut pages = 0u64;
+        for _ in 0..runs {
+            let r = run_workload(&db, &spec).unwrap();
+            pages += r.pool.logical_reads;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "smoke_sim/{name:<26} {:>12.0} simulated pages / wall second",
+            pages as f64 / wall
+        );
     }
 
     bench("tpch_generate/tiny", || {

@@ -13,7 +13,7 @@
 
 use scanshare::SharingConfig;
 use scanshare_bench::gate::{collect_metrics, compare, has_regression, render_diffs, GateBaseline};
-use scanshare_engine::{run_workload, RunReport, SharingMode};
+use scanshare_engine::{run_workloads, RunReport, SharingMode};
 use scanshare_tpch::{generate, throughput_workload, TpchConfig};
 
 /// Streams in the smoke workload.
@@ -32,7 +32,7 @@ fn smoke_description(cfg: &TpchConfig) -> String {
     )
 }
 
-fn run_smoke_pair() -> (RunReport, RunReport) {
+fn run_smoke_pair(jobs: usize) -> (RunReport, RunReport) {
     let cfg = smoke_config();
     let db = generate(&cfg);
     let months = cfg.months as i64;
@@ -48,8 +48,21 @@ fn run_smoke_pair() -> (RunReport, RunReport) {
         "running pinned smoke workload ({}) ...",
         smoke_description(&cfg)
     );
-    let base = run_workload(&db, &base_spec).expect("base smoke run");
-    let ss = run_workload(&db, &ss_spec).expect("ss smoke run");
+    let started = std::time::Instant::now();
+    let mut reports = run_workloads(&db, &[base_spec, ss_spec], jobs);
+    let wall = started.elapsed();
+    let ss = reports.pop().unwrap().expect("ss smoke run");
+    let base = reports.pop().unwrap().expect("base smoke run");
+    // Wall-clock throughput is informational only: it varies with the
+    // host machine and is never gated. The gated metrics below are all
+    // virtual-time quantities.
+    let pages = base.pool.logical_reads + ss.pool.logical_reads;
+    eprintln!(
+        "wall-clock (informational, not gated): {:.1} ms for both runs, \
+         {:.0} simulated pages / wall second, --jobs {jobs}",
+        wall.as_secs_f64() * 1e3,
+        pages as f64 / wall.as_secs_f64()
+    );
     (base, ss)
 }
 
@@ -61,6 +74,10 @@ USAGE:
                                              baseline; exit 1 on regression
   bench_gate --write-baseline BASELINE.json  run the smoke workload and
                                              (re)write the baseline
+
+OPTIONS:
+  --jobs N    worker threads for the base/scan-sharing pair (default 1);
+              reports are bit-identical for any N, only wall time changes
 ";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -74,9 +91,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let gate = flag_value(&args, "--gate");
     let write = flag_value(&args, "--write-baseline");
+    let jobs = match flag_value(&args, "--jobs")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+    {
+        Ok(j) => j.unwrap_or(1),
+        Err(e) => {
+            eprintln!("invalid --jobs value: {e}");
+            std::process::exit(2);
+        }
+    };
     let code = match (gate, write) {
-        (Some(path), None) => run_gate(&path),
-        (None, Some(path)) => write_baseline(&path),
+        (Some(path), None) => run_gate(&path, jobs),
+        (None, Some(path)) => write_baseline(&path, jobs),
         _ => {
             eprint!("{USAGE}");
             2
@@ -85,9 +112,9 @@ fn main() {
     std::process::exit(code);
 }
 
-fn write_baseline(path: &str) -> i32 {
+fn write_baseline(path: &str, jobs: usize) -> i32 {
     let cfg = smoke_config();
-    let (base, ss) = run_smoke_pair();
+    let (base, ss) = run_smoke_pair(jobs);
     let baseline = GateBaseline {
         description: smoke_description(&cfg),
         metrics: collect_metrics(&base, &ss),
@@ -113,7 +140,7 @@ fn write_baseline(path: &str) -> i32 {
     0
 }
 
-fn run_gate(path: &str) -> i32 {
+fn run_gate(path: &str, jobs: usize) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -128,7 +155,7 @@ fn run_gate(path: &str) -> i32 {
             return 2;
         }
     };
-    let (base, ss) = run_smoke_pair();
+    let (base, ss) = run_smoke_pair(jobs);
     let current = collect_metrics(&base, &ss);
     let diffs = compare(&baseline, &current);
     print!("{}", render_diffs(&baseline.description, &diffs));

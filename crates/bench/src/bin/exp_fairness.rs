@@ -9,7 +9,7 @@
 
 use scanshare::SharingConfig;
 use scanshare_bench::*;
-use scanshare_engine::{run_workload, SharingMode};
+use scanshare_engine::{run_workload, run_workloads, SharingMode};
 use scanshare_tpch::{throughput_workload, QUERY_NAMES};
 use serde::Serialize;
 
@@ -37,13 +37,22 @@ fn main() {
         "cap", "time (s)", "pages read", "waits", "wait (s)", "worst query"
     );
     let mut rows = Vec::new();
-    for cap_pct in [0u32, 20, 50, 80, 100] {
-        let mode = SharingMode::ScanSharing(SharingConfig {
-            fairness_cap: cap_pct as f64 / 100.0,
-            ..SharingConfig::new(0)
-        });
-        let spec = throughput_workload(&db, 5, months, cfg.seed, mode);
-        let r = run_workload(&db, &spec).expect("run");
+    let caps = [0u32, 20, 50, 80, 100];
+    // The five cap settings are independent simulations; fan them out.
+    // Reports are bit-identical to a sequential sweep for any job count.
+    let specs: Vec<_> = caps
+        .iter()
+        .map(|&cap_pct| {
+            let mode = SharingMode::ScanSharing(SharingConfig {
+                fairness_cap: cap_pct as f64 / 100.0,
+                ..SharingConfig::new(0)
+            });
+            throughput_workload(&db, 5, months, cfg.seed, mode)
+        })
+        .collect();
+    let reports = run_workloads(&db, &specs, sweep_jobs());
+    for (cap_pct, r) in caps.into_iter().zip(reports) {
+        let r = r.expect("run");
         // Worst per-query regression vs base (negative gain).
         let mut worst = 0.0f64;
         for name in QUERY_NAMES {

@@ -67,6 +67,18 @@ pub fn ss_mode() -> SharingMode {
     SharingMode::ScanSharing(SharingConfig::new(0))
 }
 
+/// Worker threads for fanning a sweep's independent runs out in
+/// parallel: `SCANSHARE_JOBS` (default 1). Every run is a deterministic
+/// simulation over virtual time, so the job count changes only the
+/// sweep's wall-clock time, never a reported number.
+pub fn sweep_jobs() -> usize {
+    std::env::var("SCANSHARE_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
+}
+
 /// Stagger offset proportional to a query's solo runtime: run the query
 /// once alone and take `frac` of its elapsed time. The paper staggers by
 /// 10 s against a 100 GB database; a fixed fraction keeps the overlap

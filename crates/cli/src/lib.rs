@@ -95,6 +95,17 @@ pub enum Command {
         tail: usize,
         no_clear: bool,
     },
+    /// `bench [--streams N] [--scale S] [--seed X] [--runs R] [--jobs J]`:
+    /// wall-clock benchmark of the simulator itself — R independent
+    /// copies of the base and scan-sharing throughput runs, fanned over
+    /// J worker threads.
+    Bench {
+        streams: usize,
+        scale: f64,
+        seed: u64,
+        runs: usize,
+        jobs: usize,
+    },
     /// `generate --scale S --seed X --out FILE`
     Generate { scale: f64, seed: u64, out: String },
     /// `spec-template`
@@ -236,6 +247,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             tail: parse_flag(args, "--tail", 8)?,
             no_clear: args.iter().any(|a| a == "--no-clear"),
         }),
+        "bench" => Ok(Command::Bench {
+            streams: parse_flag(args, "--streams", 3)?,
+            scale: parse_flag(args, "--scale", 0.1)?,
+            seed: parse_flag(args, "--seed", 42)?,
+            runs: parse_flag(args, "--runs", 2)?,
+            jobs: parse_flag(args, "--jobs", 1)?,
+        }),
         "generate" => Ok(Command::Generate {
             scale: parse_flag(args, "--scale", 0.5)?,
             seed: parse_flag(args, "--seed", 42)?,
@@ -282,6 +300,12 @@ USAGE:
       topology, per-scan throttle state, pool-residency heatmap, and
       the decision tail, redrawn every N ms (--no-clear appends frames
       instead of clearing, for piped output).
+  scanshare bench [--streams N] [--scale S] [--seed X] [--runs R]
+                  [--jobs J]
+      Wall-clock benchmark of the simulator itself: R independent
+      copies of the base and scan-sharing throughput runs fanned over
+      J worker threads. Prints wall time and simulated pages per
+      wall-second; simulated results are bit-identical for any J.
   scanshare generate [--scale S] [--seed X] --out FILE
       Generate the TPC-H-like database once and save it for reuse.
   scanshare spec-template
@@ -430,6 +454,13 @@ pub fn execute(cmd: Command) -> i32 {
             };
             run_maybe_compare_with(&database, &parsed.workload, compare, &outputs)
         }
+        Command::Bench {
+            streams,
+            scale,
+            seed,
+            runs,
+            jobs,
+        } => run_bench(streams, scale, seed, runs, jobs),
         Command::Trace { artifact } => match load_artifact_trace(&artifact) {
             Ok(records) => {
                 print!("{}", render::render_trace(&records));
@@ -569,6 +600,76 @@ fn run_measured(
 
 fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
     run_maybe_compare_with(db, spec, compare, &RunOutputs::default())
+}
+
+/// `scanshare bench`: measure the simulator's own wall-clock throughput.
+///
+/// Builds `runs` copies each of the base and scan-sharing throughput
+/// workloads and fans all of them over `jobs` worker threads via
+/// [`scanshare_engine::run_workloads`]. Every run is a deterministic
+/// simulation, so repeats of the same spec must produce byte-identical
+/// reports no matter how they were scheduled — the command asserts this
+/// and reports wall time and simulated pages per wall-second.
+fn run_bench(streams: usize, scale: f64, seed: u64, runs: usize, jobs: usize) -> i32 {
+    let runs = runs.max(1);
+    let tpch = TpchConfig {
+        scale,
+        seed,
+        ..TpchConfig::default()
+    };
+    let db = generate(&tpch);
+    let months = tpch.months as i64;
+    let base = throughput_workload(&db, streams, months, seed, SharingMode::Base);
+    let ss = throughput_workload(
+        &db,
+        streams,
+        months,
+        seed,
+        SharingMode::ScanSharing(SharingConfig::new(0)),
+    );
+    // Interleave base/ss copies so both kinds are in flight at once.
+    let mut specs = Vec::with_capacity(runs * 2);
+    for _ in 0..runs {
+        specs.push(base.clone());
+        specs.push(ss.clone());
+    }
+    eprintln!(
+        "bench: {runs}x base + {runs}x scan-sharing ({streams} streams, scale {scale}), --jobs {jobs}"
+    );
+    let started = std::time::Instant::now();
+    let reports = scanshare_engine::run_workloads(&db, &specs, jobs);
+    let wall = started.elapsed();
+    let mut ok: Vec<RunReport> = Vec::with_capacity(reports.len());
+    for r in reports {
+        match r {
+            Ok(r) => ok.push(r),
+            Err(e) => {
+                eprintln!("bench run failed: {e}");
+                return 1;
+            }
+        }
+    }
+    // Repeats of one spec must be byte-identical regardless of which
+    // worker ran them — the simulator takes no wall-clock input.
+    let fingerprint = |r: &RunReport| serde_json::to_string(r).expect("report serializes");
+    let (b0, s0) = (fingerprint(&ok[0]), fingerprint(&ok[1]));
+    for pair in ok.chunks(2).skip(1) {
+        if fingerprint(&pair[0]) != b0 || fingerprint(&pair[1]) != s0 {
+            eprintln!("bench: FAIL — repeat runs diverged across workers");
+            return 1;
+        }
+    }
+    print_comparison(&ok[0], &ok[1]);
+    let pages: u64 = ok.iter().map(|r| r.pool.logical_reads).sum();
+    println!(
+        "{:<14} wall {:>7.2}s for {} runs  ({:.0} simulated pages / wall second, --jobs {jobs})",
+        "bench",
+        wall.as_secs_f64(),
+        runs * 2,
+        pages as f64 / wall.as_secs_f64(),
+    );
+    println!("repeat runs bit-identical across workers: yes");
+    0
 }
 
 fn run_maybe_compare_with(

@@ -14,20 +14,20 @@ use std::sync::Arc;
 use scanshare::obs::{Histogram, MetricsRegistry};
 use scanshare::ScanSharingManager;
 use scanshare_storage::{
-    BufferPool, DiskArray, FileStore, FixOutcome, PageBuf, PageId, PagePriority, SimDuration,
-    SimTime, StorageResult,
+    BufferPool, DiskArray, FileStore, PageId, PagePriority, SimDuration, SimTime, StorageResult,
 };
 
 use crate::cost::EngineConfig;
 use crate::metrics::Breakdown;
 
-/// Result of fetching one extent.
+/// Timing and counters of one extent fetch. The pages themselves land in
+/// the caller-provided `(PageId, slot)` vector: the caller borrows their
+/// bytes from the pool via [`BufferPool::slot_buf`] instead of receiving
+/// a cloned handle per page.
 #[derive(Debug)]
 pub struct FetchResult {
     /// When every page of the extent is available (>= request time).
     pub ready: SimTime,
-    /// The fetched pages, pinned in the pool.
-    pub pages: Vec<(PageId, PageBuf)>,
     /// Pool hits.
     pub hits: u64,
     /// Pages this fetch physically read.
@@ -63,6 +63,10 @@ pub struct ExecWorld<'a> {
     /// scan ride an in-flight read issued by another scan instead of
     /// double-reading the page.
     available_at: HashMap<PageId, SimTime>,
+    /// Reusable `(page, physical address)` miss buffer for
+    /// `fetch_extent`/`prefetch`, so the per-extent hot path allocates
+    /// nothing in steady state.
+    miss_scratch: Vec<(PageId, u64)>,
     /// CPU usage accumulators (user/system; idle and wait are derived at
     /// report time).
     pub user_time: SimDuration,
@@ -101,6 +105,7 @@ impl<'a> ExecWorld<'a> {
             throttle_hist,
             cpus,
             available_at: HashMap::new(),
+            miss_scratch: Vec::new(),
             user_time: SimDuration::ZERO,
             sys_time: SimDuration::ZERO,
             io_wait_time: SimDuration::ZERO,
@@ -108,31 +113,34 @@ impl<'a> ExecWorld<'a> {
     }
 
     /// Bring `page_ids` (one extent, in scan order) into the pool at time
-    /// `now`. Misses are grouped into physically-contiguous runs, each
-    /// serviced as one disk request. Pages stay pinned until
-    /// [`ExecWorld::release_pages`].
+    /// `now`, filling `pages` with each page's pinned pool slot (sorted
+    /// by page id — scan order). Misses are grouped into
+    /// physically-contiguous runs, each serviced as one disk request.
+    /// Pages stay pinned until [`ExecWorld::release_pages`].
     pub fn fetch_extent(
         &mut self,
         now: SimTime,
         page_ids: &[PageId],
+        pages: &mut Vec<(PageId, u32)>,
     ) -> StorageResult<FetchResult> {
+        pages.clear();
         let mut ready = now;
-        let mut pages = Vec::with_capacity(page_ids.len());
         let mut hits = 0u64;
         let mut requests = 0u64;
         // (page, physical address) of each miss, in scan order.
-        let mut misses: Vec<(PageId, u64)> = Vec::new();
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        misses.clear();
         for &id in page_ids {
-            match self.pool.fix(id) {
-                FixOutcome::Hit(buf) => {
+            match self.pool.fix_slot(id) {
+                Some(slot) => {
                     hits += 1;
                     if let Some(&avail) = self.available_at.get(&id) {
                         // Ride another scan's in-flight read.
                         ready = ready.max(avail);
                     }
-                    pages.push((id, buf));
+                    pages.push((id, slot));
                 }
-                FixOutcome::Miss => {
+                None => {
                     misses.push((id, self.store.physical(id)?));
                 }
             }
@@ -145,8 +153,7 @@ impl<'a> ExecWorld<'a> {
             while j < misses.len() && misses[j].1 == misses[j - 1].1 + 1 {
                 j += 1;
             }
-            let (first, phys) = misses[i];
-            let _ = first;
+            let (_, phys) = misses[i];
             let completion = self.disk.read(now, phys, (j - i) as u32);
             self.read_hist
                 .record(completion.done.since(now).as_micros());
@@ -154,20 +161,20 @@ impl<'a> ExecWorld<'a> {
             ready = ready.max(completion.done);
             for &(id, _) in &misses[i..j] {
                 let buf = self.store.read_page(id)?;
-                self.pool.complete_miss(id, buf.clone())?;
+                let slot = self.pool.complete_miss_slot(id, buf)?;
                 self.available_at.insert(id, completion.done);
-                pages.push((id, buf));
+                pages.push((id, slot));
             }
             i = j;
         }
+        self.miss_scratch = misses;
         // Keep the extent in scan order for row processing.
-        pages.sort_by_key(|&(id, _)| id);
+        pages.sort_unstable_by_key(|&(id, _)| id);
         let sys = SimDuration::from_micros(self.cfg.sys_per_request.as_micros() * requests);
         self.sys_time += sys;
         self.io_wait_time += ready.since(now);
         Ok(FetchResult {
             ready,
-            pages,
             hits,
             misses: n_misses,
             requests,
@@ -180,7 +187,8 @@ impl<'a> ExecWorld<'a> {
     /// finds them resident and only waits out the remaining disk time.
     /// No-op for pages already resident.
     pub fn prefetch(&mut self, now: SimTime, page_ids: &[PageId]) -> StorageResult<()> {
-        let mut misses: Vec<(PageId, u64)> = Vec::new();
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        misses.clear();
         for &id in page_ids {
             if !self.pool.contains(id) {
                 misses.push((id, self.store.physical(id)?));
@@ -209,6 +217,7 @@ impl<'a> ExecWorld<'a> {
             }
             i = j;
         }
+        self.miss_scratch = misses;
         Ok(())
     }
 
@@ -223,10 +232,11 @@ impl<'a> ExecWorld<'a> {
         done
     }
 
-    /// Unpin an extent's pages with the given release priority.
+    /// Unpin an extent's pages (as filled by [`ExecWorld::fetch_extent`])
+    /// with the given release priority.
     pub fn release_pages(
         &mut self,
-        pages: &[(PageId, PageBuf)],
+        pages: &[(PageId, u32)],
         priority: PagePriority,
     ) -> StorageResult<()> {
         for &(id, _) in pages {
@@ -284,27 +294,34 @@ mod tests {
     fn cold_fetch_pays_one_seek_per_contiguous_run() {
         let store = store_with_pages(32);
         let mut w = world(&store, 64);
-        let r = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        let mut pages = Vec::new();
+        let r = w
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut pages)
+            .unwrap();
         assert_eq!(r.misses, 16);
         assert_eq!(r.hits, 0);
         assert_eq!(r.requests, 1, "contiguous extent = one request");
         assert_eq!(w.disk.stats().seeks, 1);
         assert!(r.ready > SimTime::ZERO);
-        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
     }
 
     #[test]
     fn warm_fetch_is_instant() {
         let store = store_with_pages(16);
         let mut w = world(&store, 64);
-        let r1 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
-        w.release_pages(&r1.pages, PagePriority::Normal).unwrap();
+        let mut pages = Vec::new();
+        let r1 = w
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut pages)
+            .unwrap();
+        assert_eq!(r1.misses, 16);
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
         let t = SimTime::from_secs(1);
-        let r2 = w.fetch_extent(t, &pids(16)).unwrap();
+        let r2 = w.fetch_extent(t, &pids(16), &mut pages).unwrap();
         assert_eq!(r2.misses, 0);
         assert_eq!(r2.hits, 16);
         assert_eq!(r2.ready, t, "no new I/O time");
-        w.release_pages(&r2.pages, PagePriority::Normal).unwrap();
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
         assert_eq!(w.disk.stats().pages_read, 16);
     }
 
@@ -312,16 +329,17 @@ mod tests {
     fn riding_an_in_flight_read_waits_for_its_completion() {
         let store = store_with_pages(16);
         let mut w = world(&store, 64);
-        let r1 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        let mut p1 = Vec::new();
+        let mut p2 = Vec::new();
+        let r1 = w.fetch_extent(SimTime::ZERO, &pids(16), &mut p1).unwrap();
         // A second task at the same instant: pages are resident but only
         // available when the first task's read completes.
-        let r2 = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
+        let r2 = w.fetch_extent(SimTime::ZERO, &pids(16), &mut p2).unwrap();
         assert_eq!(r2.misses, 0);
         assert_eq!(r2.ready, r1.ready);
-        w.release_pages(&r1.pages, PagePriority::Normal).unwrap();
-        w.release_pages(&r2.pages, PagePriority::Normal).unwrap();
-        w.release_pages(&r1.pages, PagePriority::Normal)
-            .unwrap_err();
+        w.release_pages(&p1, PagePriority::Normal).unwrap();
+        w.release_pages(&p2, PagePriority::Normal).unwrap();
+        w.release_pages(&p1, PagePriority::Normal).unwrap_err();
     }
 
     #[test]
@@ -330,15 +348,24 @@ mod tests {
         let mut w = world(&store, 64);
         // Warm up pages 4..8 so the extent is part hit, part miss.
         let warm: Vec<PageId> = pids(16)[4..8].to_vec();
-        let r = w.fetch_extent(SimTime::ZERO, &warm).unwrap();
-        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
-        let r = w.fetch_extent(SimTime::from_millis(1), &pids(16)).unwrap();
+        let mut pages = Vec::new();
+        let r = w.fetch_extent(SimTime::ZERO, &warm, &mut pages).unwrap();
+        assert_eq!(r.hits, 0);
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
+        let r = w
+            .fetch_extent(SimTime::from_millis(1), &pids(16), &mut pages)
+            .unwrap();
         assert_eq!(r.hits, 4);
         assert_eq!(r.misses, 12);
         assert_eq!(r.requests, 2, "two contiguous miss runs: 0..4 and 8..16");
-        let order: Vec<u32> = r.pages.iter().map(|&(id, _)| id.page).collect();
+        let order: Vec<u32> = pages.iter().map(|&(id, _)| id.page).collect();
         assert_eq!(order, (0..16).collect::<Vec<_>>());
-        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+        // Slots hand back the right bytes without cloning.
+        for &(id, slot) in &pages {
+            assert_eq!(w.pool.slot_page(slot), id);
+            assert_eq!(w.pool.slot_buf(slot)[0], id.page as u8);
+        }
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
     }
 
     #[test]
@@ -371,8 +398,11 @@ mod tests {
     fn breakdown_accounts_capacity() {
         let store = store_with_pages(16);
         let mut w = world(&store, 64);
-        let r = w.fetch_extent(SimTime::ZERO, &pids(16)).unwrap();
-        w.release_pages(&r.pages, PagePriority::Normal).unwrap();
+        let mut pages = Vec::new();
+        let r = w
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut pages)
+            .unwrap();
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
         let done = w.run_cpu(r.ready, SimDuration::from_millis(5));
         let b = w.breakdown(done.since(SimTime::ZERO));
         let total = b.user + b.system + b.idle + b.io_wait;

@@ -27,6 +27,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod metrics;
+pub mod par_runs;
 pub mod persist;
 pub mod query;
 pub mod scan_exec;
@@ -37,6 +38,7 @@ pub use cost::{CpuClass, EngineConfig};
 pub use db::Database;
 pub use error::{EngineError, EngineResult};
 pub use metrics::{Breakdown, QueryRecord, RunReport};
+pub use par_runs::{par_map, run_workloads};
 pub use query::{Access, AggSpec, Pred, Query, QueryResult, ScanSpec};
 pub use trace::{TraceEvent, TraceRecord, Tracer};
 pub use workload::{

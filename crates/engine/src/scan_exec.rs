@@ -13,7 +13,7 @@
 //! range, then a wrap back to the original start key for the remainder.
 
 use scanshare::{Location, ObjectId, ScanDesc, ScanId, ScanKind};
-use scanshare_relstore::{Entry, HeapPage, Rid, RowRef, Schema};
+use scanshare_relstore::{Entry, HeapPage, Rid, Schema};
 use scanshare_storage::{FileId, PageId, PagePriority, SimDuration, SimTime};
 
 use crate::cost::CpuClass;
@@ -54,12 +54,117 @@ enum Plan {
 }
 
 /// What a step evaluates on its fetched pages.
+#[derive(Clone, Copy)]
 enum StepWork {
     /// Every row of every fetched page (table and block index scans).
     AllRows,
-    /// Exactly these `(page, slot)` rows, plus the count of distinct
-    /// pages in the chunk (RID index scans).
-    Rids(Vec<(PageId, u16)>, u64),
+    /// Exactly the `(page, slot)` rows gathered into the step scratch,
+    /// touching this many distinct pages (RID index scans).
+    Rids { distinct_pages: u64 },
+}
+
+/// Reusable per-scan buffers for `step`'s extent loop. Capacity survives
+/// between steps, so the per-extent hot path performs no allocation in
+/// steady state.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// The extent's page ids, in scan order.
+    ids: Vec<PageId>,
+    /// RID work list for [`Plan::Rid`] chunks.
+    rids: Vec<(PageId, u16)>,
+    /// Fetched `(page, pool slot)` pairs, sorted by page id.
+    pages: Vec<(PageId, u32)>,
+    /// Predicted next-extent pages handed to the prefetcher.
+    prefetch: Vec<PageId>,
+}
+
+/// One predicate leaf with its column byte offset resolved against the
+/// scan's schema. [`RowPipeline::compile`] flattens a [`Pred`] tree into
+/// a conjunction of these so the per-row loop reads fields straight out
+/// of the row bytes — no `Box` chasing, no per-access offset lookup.
+#[derive(Debug)]
+enum PredLeaf {
+    /// `lo <= i32 at off <= hi`.
+    I32Between { off: usize, lo: i32, hi: i32 },
+    /// `f64 at off < x`.
+    F64LessThan { off: usize, x: f64 },
+    /// `byte at off == c`.
+    CharEq { off: usize, c: u8 },
+}
+
+impl PredLeaf {
+    #[inline]
+    fn eval(&self, bytes: &[u8]) -> bool {
+        match *self {
+            PredLeaf::I32Between { off, lo, hi } => {
+                let v = i32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                lo <= v && v <= hi
+            }
+            PredLeaf::F64LessThan { off, x } => {
+                f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) < x
+            }
+            PredLeaf::CharEq { off, c } => bytes[off] == c,
+        }
+    }
+}
+
+/// The scan's per-row work, compiled once at [`ScanExec::start`]: the
+/// predicate flattened into [`PredLeaf`] conjuncts (left-to-right source
+/// order, so evaluation order matches [`Pred::eval`]'s short-circuit)
+/// and the aggregate's column indexes resolved to byte offsets. The row
+/// loop dominates simulator wall time, so it must not touch `Schema`.
+#[derive(Debug)]
+struct RowPipeline {
+    /// Conjunction of leaves; empty means every row qualifies.
+    leaves: Vec<PredLeaf>,
+    /// Byte offsets of the float columns in `AggSpec::sum_cols`, in order.
+    sum_offs: Vec<usize>,
+    /// Byte offsets of the `Char` columns in `AggSpec::group_by`, in order.
+    group_offs: Vec<usize>,
+}
+
+impl RowPipeline {
+    fn compile(pred: &Pred, agg: &AggSpec, schema: &Schema) -> RowPipeline {
+        let mut leaves = Vec::new();
+        Self::flatten(pred, schema, &mut leaves);
+        RowPipeline {
+            leaves,
+            sum_offs: agg.sum_cols.iter().map(|&c| schema.offset(c)).collect(),
+            group_offs: agg.group_by.iter().map(|&c| schema.offset(c)).collect(),
+        }
+    }
+
+    /// Flatten an `And` tree left-to-right; `True` is the conjunction
+    /// identity and contributes no leaf.
+    fn flatten(pred: &Pred, schema: &Schema, out: &mut Vec<PredLeaf>) {
+        match pred {
+            Pred::True => {}
+            Pred::I32Between(col, lo, hi) => out.push(PredLeaf::I32Between {
+                off: schema.offset(*col),
+                lo: *lo,
+                hi: *hi,
+            }),
+            Pred::F64LessThan(col, x) => out.push(PredLeaf::F64LessThan {
+                off: schema.offset(*col),
+                x: *x,
+            }),
+            Pred::CharEq(col, c) => out.push(PredLeaf::CharEq {
+                off: schema.offset(*col),
+                c: *c,
+            }),
+            Pred::And(a, b) => {
+                Self::flatten(a, schema, out);
+                Self::flatten(b, schema, out);
+            }
+        }
+    }
+
+    /// Does the row qualify? Conjuncts are checked in the same order as
+    /// the source predicate's short-circuit evaluation.
+    #[inline]
+    fn matches(&self, bytes: &[u8]) -> bool {
+        self.leaves.iter().all(|l| l.eval(bytes))
+    }
 }
 
 /// Measurements a finished scan hands back to its query.
@@ -82,8 +187,8 @@ pub struct ScanMetrics {
 pub struct ScanExec {
     file: FileId,
     schema: Schema,
-    pred: Pred,
-    agg: AggSpec,
+    /// Predicate + aggregate columns compiled against `schema`.
+    pipeline: RowPipeline,
     cpu: CpuClass,
     plan: Plan,
     mgr_scan: Option<ScanId>,
@@ -99,7 +204,12 @@ pub struct ScanExec {
     /// Aggregation state.
     count: u64,
     sums: Vec<f64>,
-    groups: std::collections::HashMap<i64, crate::query::GroupAgg>,
+    /// Per-group aggregates, kept sorted by packed group key. The paper
+    /// workloads group by at most a handful of `Char` values (TPC-H Q1
+    /// has six groups), so a sorted vec beats hashing every row.
+    groups: Vec<(i64, crate::query::GroupAgg)>,
+    /// Reusable step buffers.
+    scratch: StepScratch,
     /// Metrics.
     pub metrics: ScanMetrics,
 }
@@ -281,11 +391,11 @@ impl ScanExec {
             .then(|| (std::collections::VecDeque::new(), ring_pages));
 
         let n_sums = spec.agg.sum_cols.len();
+        let pipeline = RowPipeline::compile(&spec.pred, &spec.agg, &schema);
         Ok(ScanExec {
             file,
             schema,
-            pred: spec.pred.clone(),
-            agg: spec.agg.clone(),
+            pipeline,
             cpu: spec.cpu,
             plan,
             mgr_scan,
@@ -294,7 +404,8 @@ impl ScanExec {
             needs_wrap: false,
             count: 0,
             sums: vec![0.0; n_sums],
-            groups: std::collections::HashMap::new(),
+            groups: Vec::new(),
+            scratch: StepScratch::default(),
             metrics: ScanMetrics::default(),
         })
     }
@@ -337,40 +448,49 @@ impl ScanExec {
 
     /// The scan's answer (valid once finished).
     pub fn result(&self) -> QueryResult {
-        let mut groups: Vec<(i64, crate::query::GroupAgg)> =
-            self.groups.iter().map(|(k, v)| (*k, v.clone())).collect();
-        groups.sort_by_key(|g| g.0);
         QueryResult {
             count: self.count,
             sums: self.sums.clone(),
-            groups,
+            groups: self.groups.clone(),
         }
     }
 
     /// Fold one qualifying row into the aggregation state. Free-standing
-    /// over disjoint fields so a `RowRef` borrowing `self.schema` can be
-    /// live at the call site.
+    /// over disjoint fields so row bytes borrowing the pool can be live
+    /// at the call site.
     #[inline]
     fn accumulate(
-        agg: &AggSpec,
+        pipe: &RowPipeline,
         count: &mut u64,
         sums: &mut [f64],
-        groups: &mut std::collections::HashMap<i64, crate::query::GroupAgg>,
-        row: &RowRef<'_>,
+        groups: &mut Vec<(i64, crate::query::GroupAgg)>,
+        bytes: &[u8],
     ) {
+        let field = |off: usize| f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
         *count += 1;
-        for (i, &col) in agg.sum_cols.iter().enumerate() {
-            sums[i] += row.get_f64(col);
+        for (i, &off) in pipe.sum_offs.iter().enumerate() {
+            sums[i] += field(off);
         }
-        if !agg.group_by.is_empty() {
-            let key = agg.group_key(row);
-            let g = groups.entry(key).or_insert_with(|| crate::query::GroupAgg {
-                count: 0,
-                sums: vec![0.0; agg.sum_cols.len()],
-            });
+        if !pipe.group_offs.is_empty() {
+            let mut key = 0i64;
+            for &off in &pipe.group_offs {
+                key = (key << 8) | bytes[off] as i64;
+            }
+            let at = match groups.binary_search_by_key(&key, |g| g.0) {
+                Ok(at) => at,
+                Err(at) => {
+                    let agg = crate::query::GroupAgg {
+                        count: 0,
+                        sums: vec![0.0; pipe.sum_offs.len()],
+                    };
+                    groups.insert(at, (key, agg));
+                    at
+                }
+            };
+            let g = &mut groups[at].1;
             g.count += 1;
-            for (i, &col) in agg.sum_cols.iter().enumerate() {
-                g.sums[i] += row.get_f64(col);
+            for (i, &off) in pipe.sum_offs.iter().enumerate() {
+                g.sums[i] += field(off);
             }
         }
     }
@@ -386,22 +506,22 @@ impl ScanExec {
     }
 
     /// The pages the *next* step will touch (table and block index
-    /// plans; RID chunks are not predicted). Used for prefetching.
-    fn peek_next_pages(&self, extent_pages: u32) -> Vec<PageId> {
-        match &self.plan {
+    /// plans; RID chunks are not predicted), appended to `out`. Used for
+    /// prefetching. Free-standing over the plan so the caller can fill a
+    /// scratch buffer it holds alongside other borrows of `self`.
+    fn peek_next_pages(plan: &Plan, file: FileId, extent_pages: u32, out: &mut Vec<PageId>) {
+        match plan {
             Plan::Table {
                 num_pages,
                 start_page,
                 visited,
             } => {
                 if visited >= num_pages {
-                    return Vec::new();
+                    return;
                 }
                 let cur = (start_page + visited) % num_pages;
                 let chunk = extent_pages.min(num_pages - cur).min(num_pages - visited);
-                (cur..cur + chunk)
-                    .map(|p| PageId::new(self.file, p))
-                    .collect()
+                out.extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
             }
             Plan::Index {
                 entries,
@@ -410,15 +530,13 @@ impl ScanExec {
                 visited,
             } => {
                 if *visited >= entries.len() {
-                    return Vec::new();
+                    return;
                 }
                 let e = entries[(start_idx + visited) % entries.len()];
                 let first = e.payload as u32 * block_pages;
-                (first..first + block_pages)
-                    .map(|p| PageId::new(self.file, p))
-                    .collect()
+                out.extend((first..first + block_pages).map(|p| PageId::new(file, p)));
             }
-            Plan::Rid { .. } => Vec::new(),
+            Plan::Rid { .. } => {}
         }
     }
 
@@ -440,9 +558,11 @@ impl ScanExec {
             return Ok(None);
         }
 
-        // Gather this extent's pages, what to evaluate on them, and the
-        // location reported afterwards.
-        let (page_ids, work, location, units, wrap_after) = match &self.plan {
+        // Gather this extent's pages (into the reusable scratch), what to
+        // evaluate on them, and the location reported afterwards.
+        self.scratch.ids.clear();
+        self.scratch.rids.clear();
+        let (work, location, units, wrap_after) = match &self.plan {
             Plan::Table {
                 num_pages,
                 start_page,
@@ -455,13 +575,13 @@ impl ScanExec {
                     .extent_pages
                     .min(num_pages - cur)
                     .min(num_pages - visited);
-                let ids: Vec<PageId> = (cur..cur + chunk)
-                    .map(|p| PageId::new(self.file, p))
-                    .collect();
+                let file = self.file;
+                self.scratch
+                    .ids
+                    .extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
                 let last = cur + chunk - 1;
                 let wraps = cur + chunk == *num_pages && visited + chunk < *num_pages;
                 (
-                    ids,
                     StepWork::AllRows,
                     Location::new(last as i64, last as u64),
                     chunk as u64,
@@ -477,12 +597,12 @@ impl ScanExec {
                 let idx = (start_idx + visited) % entries.len();
                 let e = entries[idx];
                 let first_page = e.payload as u32 * block_pages;
-                let ids: Vec<PageId> = (first_page..first_page + block_pages)
-                    .map(|p| PageId::new(self.file, p))
-                    .collect();
+                let file = self.file;
+                self.scratch
+                    .ids
+                    .extend((first_page..first_page + block_pages).map(|p| PageId::new(file, p)));
                 let wraps = idx + 1 == entries.len() && visited + 1 < entries.len();
                 (
-                    ids,
                     StepWork::AllRows,
                     Location::new(e.key, e.payload),
                     1u64,
@@ -499,8 +619,8 @@ impl ScanExec {
                 let len = entries.len();
                 let extent = world.cfg.extent_pages as usize;
                 let max_entries = extent * 32;
-                let mut ids: Vec<PageId> = Vec::with_capacity(extent);
-                let mut rids: Vec<(PageId, u16)> = Vec::new();
+                let ids = &mut self.scratch.ids;
+                let rids = &mut self.scratch.rids;
                 let mut taken = 0usize;
                 let mut last = entries[(start_idx + visited) % len];
                 while visited + taken < len && taken < max_entries {
@@ -523,10 +643,10 @@ impl ScanExec {
                 }
                 let after = visited + taken;
                 let wraps = (start_idx + after).is_multiple_of(len) && after < len;
-                let units_pages = ids.len() as u64;
                 (
-                    ids,
-                    StepWork::Rids(rids, units_pages),
+                    StepWork::Rids {
+                        distinct_pages: ids.len() as u64,
+                    },
                     Location::new(last.key, last.payload),
                     taken as u64,
                     wraps,
@@ -540,7 +660,8 @@ impl ScanExec {
             if let (Some(id), Some(mgr)) = (self.mgr_scan, world.mgr.clone()) {
                 let first_loc = match &self.plan {
                     Plan::Table { .. } => {
-                        Location::new(page_ids[0].page as i64, page_ids[0].page as u64)
+                        let first = self.scratch.ids[0].page;
+                        Location::new(first as i64, first as u64)
                     }
                     Plan::Index { entries, .. } | Plan::Rid { entries, .. } => {
                         Location::new(entries[0].key, entries[0].payload)
@@ -555,67 +676,83 @@ impl ScanExec {
         }
 
         // I/O.
-        let fetch = world.fetch_extent(now, &page_ids)?;
+        let fetch = world.fetch_extent(now, &self.scratch.ids, &mut self.scratch.pages)?;
         self.metrics.io_wait += fetch.ready.since(now);
-        self.metrics.logical_reads += page_ids.len() as u64;
+        self.metrics.logical_reads += self.scratch.ids.len() as u64;
         self.metrics.physical_reads += fetch.misses;
 
-        // CPU: evaluate the predicate, aggregate qualifiers.
+        // CPU: evaluate the predicate, aggregate qualifiers. Row bytes
+        // are borrowed straight from the pinned pool frames and fields
+        // read at the pipeline's precompiled offsets.
         let mut rows = 0u64;
-        match &work {
+        let width = self.schema.row_width();
+        let pipe = &self.pipeline;
+        match work {
             StepWork::AllRows => {
-                for (_, buf) in &fetch.pages {
-                    let page = HeapPage::new(buf)?;
-                    for row_bytes in page.rows() {
-                        rows += 1;
-                        let row = RowRef {
-                            bytes: row_bytes,
-                            schema: &self.schema,
-                        };
-                        if self.pred.eval(&row) {
-                            Self::accumulate(
-                                &self.agg,
-                                &mut self.count,
-                                &mut self.sums,
-                                &mut self.groups,
-                                &row,
-                            );
+                for &(_, slot) in &self.scratch.pages {
+                    let page = HeapPage::new(world.pool.slot_buf(slot))?;
+                    // Fixed-width heap pages iterate without per-slot
+                    // descriptor decoding; odd layouts take the slow path.
+                    if let Some(dense) = page.rows_dense(width) {
+                        for row_bytes in dense {
+                            rows += 1;
+                            if pipe.matches(row_bytes) {
+                                Self::accumulate(
+                                    pipe,
+                                    &mut self.count,
+                                    &mut self.sums,
+                                    &mut self.groups,
+                                    row_bytes,
+                                );
+                            }
+                        }
+                    } else {
+                        for row_bytes in page.rows() {
+                            rows += 1;
+                            if pipe.matches(row_bytes) {
+                                Self::accumulate(
+                                    pipe,
+                                    &mut self.count,
+                                    &mut self.sums,
+                                    &mut self.groups,
+                                    row_bytes,
+                                );
+                            }
                         }
                     }
                 }
             }
-            StepWork::Rids(rids, _) => {
-                // Evaluate exactly the indexed rows (fetch.pages is in
-                // page order; look each page up once).
-                let by_page: std::collections::HashMap<PageId, &scanshare_storage::PageBuf> =
-                    fetch.pages.iter().map(|(id, b)| (*id, b)).collect();
-                for &(pid, slot) in rids {
+            StepWork::Rids { .. } => {
+                // Evaluate exactly the indexed rows; `scratch.pages` is
+                // sorted by page id, so each page resolves by binary
+                // search (no per-step map allocation).
+                let pages = &self.scratch.pages;
+                for &(pid, slot) in &self.scratch.rids {
                     rows += 1;
-                    let buf = by_page.get(&pid).expect("page fetched");
-                    let page = HeapPage::new(buf)?;
-                    let row = RowRef {
-                        bytes: page.row_bytes(slot)?,
-                        schema: &self.schema,
-                    };
-                    if self.pred.eval(&row) {
+                    let at = pages
+                        .binary_search_by_key(&pid, |&(id, _)| id)
+                        .expect("page fetched");
+                    let page = HeapPage::new(world.pool.slot_buf(pages[at].1))?;
+                    let row_bytes = page.row_bytes(slot)?;
+                    if pipe.matches(row_bytes) {
                         Self::accumulate(
-                            &self.agg,
+                            pipe,
                             &mut self.count,
                             &mut self.sums,
                             &mut self.groups,
-                            &row,
+                            row_bytes,
                         );
                     }
                 }
             }
         }
-        let pages_advanced = match (&self.plan, &work) {
+        let pages_advanced = match (&self.plan, work) {
             (Plan::Table { .. }, _) => units,
             (Plan::Index { block_pages, .. }, _) => units * *block_pages as u64,
-            (Plan::Rid { .. }, StepWork::Rids(_, distinct_pages)) => *distinct_pages,
+            (Plan::Rid { .. }, StepWork::Rids { distinct_pages }) => distinct_pages,
             (Plan::Rid { .. }, _) => unreachable!("RID plans produce RID work"),
         };
-        let cost = self.cpu.extent_cost(page_ids.len() as u64, rows);
+        let cost = self.cpu.extent_cost(self.scratch.ids.len() as u64, rows);
         let done = world.run_cpu(fetch.ready, cost);
         self.metrics.cpu += cost;
 
@@ -643,14 +780,14 @@ impl ScanExec {
                 }
             }
         }
-        world.release_pages(&fetch.pages, priority)?;
+        world.release_pages(&self.scratch.pages, priority)?;
         if let Some((ring, cap)) = &mut self.ring {
             if grouped {
                 // Retention belongs to the manager now; forget the ring
                 // so the group's pages stay pool-managed.
                 ring.clear();
             } else {
-                for &(id, _) in &fetch.pages {
+                for &(id, _) in &self.scratch.pages {
                     ring.push_back(id);
                 }
                 while ring.len() > *cap {
@@ -669,9 +806,15 @@ impl ScanExec {
             self.needs_wrap = true;
         }
         if world.cfg.prefetch_extents > 0 && !self.finished() {
-            let next = self.peek_next_pages(world.cfg.extent_pages);
-            if !next.is_empty() {
-                world.prefetch(fetch.ready, &next)?;
+            self.scratch.prefetch.clear();
+            Self::peek_next_pages(
+                &self.plan,
+                self.file,
+                world.cfg.extent_pages,
+                &mut self.scratch.prefetch,
+            );
+            if !self.scratch.prefetch.is_empty() {
+                world.prefetch(fetch.ready, &self.scratch.prefetch)?;
             }
         }
         Ok(Some(done + wait))

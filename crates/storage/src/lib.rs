@@ -29,6 +29,8 @@ pub mod disk;
 pub mod error;
 pub mod page;
 pub mod pool;
+#[cfg(test)]
+mod pool_legacy;
 pub mod series;
 pub mod sim;
 pub mod store;

@@ -15,10 +15,29 @@
 //! * [`ReplacementPolicy::PriorityLru`] — the prototype: the victim is the
 //!   unpinned page with the lowest priority, LRU within a priority class.
 //!
+//! # Frame table
+//!
+//! Frames live in a slab (`Vec<Frame>` indexed by a `u32` slot, with a
+//! free-slot list) and a `HashMap<PageId, u32>` maps resident pages to
+//! their slot. Eviction candidates — unpinned frames — are threaded onto
+//! one intrusive doubly-linked list per priority class, ordered by
+//! ascending `last_use` from the head; the victim is the head of the
+//! lowest non-empty class. Because a scan's releases may arrive out of
+//! fix order (extents release in sorted-page order, RID fetches in RID
+//! order), enqueueing walks back from the list tail to the frame's
+//! `last_use` position — O(1) amortized for the common mostly-in-order
+//! release streams, and correct for all of them. `fix`, `release`,
+//! reprioritize, and evict are therefore O(1); only [`ReplacementPolicy::Lru2`]
+//! keeps a small ordered set, because its victim key (`prev_use`) is not
+//! unique and needs the page-id tie-break.
+//!
 //! The pool does not perform I/O itself. `fix` either returns the resident
 //! page or reports a miss; the caller loads the bytes (paying the disk
 //! model's cost) and hands them back via `complete_miss`. This mirrors the
 //! paper's architecture where the sharing manager never talks to the disk.
+//! Callers that only inspect rows can use the slot-based API
+//! ([`BufferPool::fix_slot`], [`BufferPool::slot_buf`]) to borrow the page
+//! bytes without cloning the `Bytes` handle on every hit.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -123,14 +142,41 @@ pub enum FixOutcome {
     Miss,
 }
 
+/// Link sentinel for the intrusive lists ("no neighbor").
+const NIL: u32 = u32::MAX;
+
+/// Number of priority classes (`PagePriority` has three variants).
+const CLASSES: usize = 3;
+
 #[derive(Debug)]
 struct Frame {
+    id: PageId,
     buf: PageBuf,
     pin_count: u32,
     priority: PagePriority,
     last_use: u64,
     /// Second-to-last access (0 until the page is re-referenced).
     prev_use: u64,
+    /// Intrusive candidate-list links; `NIL` when pinned or free.
+    prev: u32,
+    next: u32,
+}
+
+/// One intrusive candidate list: unpinned frames of one priority class,
+/// ordered by ascending `last_use` from `head` (the victim end).
+#[derive(Debug, Clone, Copy)]
+struct CandidateList {
+    head: u32,
+    tail: u32,
+}
+
+impl CandidateList {
+    const fn empty() -> Self {
+        CandidateList {
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 /// The buffer pool.
@@ -154,10 +200,20 @@ struct Frame {
 #[derive(Debug)]
 pub struct BufferPool {
     cfg: PoolConfig,
-    frames: HashMap<PageId, Frame>,
-    /// Unpinned frames ordered by (effective priority, last use, id); the
-    /// first element is the next victim. Pinned frames are absent.
-    candidates: BTreeSet<(u8, u64, PageId)>,
+    /// Slab of frames; slots are stable while a page stays resident.
+    frames: Vec<Frame>,
+    /// Slots available for reuse (their frames are not resident).
+    free: Vec<u32>,
+    /// Resident page → slot.
+    map: HashMap<PageId, u32>,
+    /// Candidate lists indexed by priority class. Under plain LRU every
+    /// candidate lives in the `Normal` class; under priority-LRU a frame
+    /// lives in the class of its current priority.
+    lists: [CandidateList; CLASSES],
+    /// LRU-2 candidate order: `(prev_use, id)` ascending. `prev_use` is
+    /// zero for every once-referenced page, so unlike `last_use` it is
+    /// not unique and the id tie-break is load-bearing.
+    lru2: BTreeSet<(u64, PageId)>,
     use_seq: u64,
     stats: PoolStats,
 }
@@ -167,8 +223,11 @@ impl BufferPool {
     pub fn new(cfg: PoolConfig) -> Self {
         assert!(cfg.capacity > 0, "pool capacity must be positive");
         BufferPool {
-            frames: HashMap::with_capacity(cfg.capacity),
-            candidates: BTreeSet::new(),
+            frames: Vec::with_capacity(cfg.capacity),
+            free: Vec::new(),
+            map: HashMap::with_capacity(cfg.capacity),
+            lists: [CandidateList::empty(); CLASSES],
+            lru2: BTreeSet::new(),
             use_seq: 0,
             stats: PoolStats::default(),
             cfg,
@@ -182,12 +241,12 @@ impl BufferPool {
 
     /// Number of resident pages.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.map.len()
     }
 
     /// Whether no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.map.is_empty()
     }
 
     /// The configured replacement policy.
@@ -197,7 +256,7 @@ impl BufferPool {
 
     /// Whether `id` is resident (without touching its recency).
     pub fn contains(&self, id: PageId) -> bool {
-        self.frames.contains_key(&id)
+        self.map.contains_key(&id)
     }
 
     /// Counters.
@@ -205,83 +264,200 @@ impl BufferPool {
         &self.stats
     }
 
-    /// Eviction-order key of an unpinned frame: the candidate set is
-    /// ordered ascending, so the first key is the next victim.
-    fn candidate_key(&self, frame: &Frame, id: PageId) -> (u8, u64, PageId) {
+    /// Priority class whose candidate list holds (or would hold) `slot`.
+    /// Plain LRU ignores priorities, so everything shares one class.
+    fn class_of(&self, slot: u32) -> usize {
         match self.cfg.policy {
-            ReplacementPolicy::Lru => (PagePriority::Normal as u8, frame.last_use, id),
-            ReplacementPolicy::PriorityLru => (frame.priority as u8, frame.last_use, id),
-            ReplacementPolicy::Lru2 => (PagePriority::Normal as u8, frame.prev_use, id),
+            ReplacementPolicy::Lru => PagePriority::Normal as usize,
+            ReplacementPolicy::PriorityLru => self.frames[slot as usize].priority as usize,
+            ReplacementPolicy::Lru2 => unreachable!("LRU-2 candidates live in the ordered set"),
         }
+    }
+
+    /// Make an unpinned frame an eviction candidate.
+    ///
+    /// List invariant: each class list is ordered by ascending `last_use`.
+    /// Releases usually arrive in fix order, so the insertion point is the
+    /// tail and the walk is O(1) amortized; out-of-order releases (sorted
+    /// extent batches, RID fetches) walk only past frames used *after*
+    /// this one.
+    fn enqueue(&mut self, slot: u32) {
+        if self.cfg.policy == ReplacementPolicy::Lru2 {
+            let f = &self.frames[slot as usize];
+            self.lru2.insert((f.prev_use, f.id));
+            return;
+        }
+        let class = self.class_of(slot);
+        let last_use = self.frames[slot as usize].last_use;
+        let mut after = self.lists[class].tail;
+        while after != NIL && self.frames[after as usize].last_use > last_use {
+            after = self.frames[after as usize].prev;
+        }
+        let before = if after == NIL {
+            self.lists[class].head
+        } else {
+            self.frames[after as usize].next
+        };
+        {
+            let f = &mut self.frames[slot as usize];
+            f.prev = after;
+            f.next = before;
+        }
+        if after == NIL {
+            self.lists[class].head = slot;
+        } else {
+            self.frames[after as usize].next = slot;
+        }
+        if before == NIL {
+            self.lists[class].tail = slot;
+        } else {
+            self.frames[before as usize].prev = slot;
+        }
+    }
+
+    /// Remove a candidate frame from its list/set (it is being pinned,
+    /// discarded, or evicted).
+    fn dequeue(&mut self, slot: u32) {
+        if self.cfg.policy == ReplacementPolicy::Lru2 {
+            let f = &self.frames[slot as usize];
+            self.lru2.remove(&(f.prev_use, f.id));
+            return;
+        }
+        let class = self.class_of(slot);
+        let (p, n) = {
+            let f = &self.frames[slot as usize];
+            (f.prev, f.next)
+        };
+        if p == NIL {
+            self.lists[class].head = n;
+        } else {
+            self.frames[p as usize].next = n;
+        }
+        if n == NIL {
+            self.lists[class].tail = p;
+        } else {
+            self.frames[n as usize].prev = p;
+        }
+        let f = &mut self.frames[slot as usize];
+        f.prev = NIL;
+        f.next = NIL;
+    }
+
+    /// The slot that would be evicted next: the head of the lowest
+    /// non-empty priority class (LRU-2: the set minimum).
+    fn victim_slot(&self) -> Option<u32> {
+        if self.cfg.policy == ReplacementPolicy::Lru2 {
+            return self.lru2.iter().next().map(|(_, id)| self.map[id]);
+        }
+        self.lists
+            .iter()
+            .find_map(|l| (l.head != NIL).then_some(l.head))
+    }
+
+    /// Pin an already-resident slot and refresh its recency.
+    fn pin_resident(&mut self, slot: u32) {
+        if self.frames[slot as usize].pin_count == 0 {
+            self.dequeue(slot);
+        }
+        self.use_seq += 1;
+        let seq = self.use_seq;
+        let f = &mut self.frames[slot as usize];
+        f.pin_count += 1;
+        f.prev_use = f.last_use;
+        f.last_use = seq;
     }
 
     /// Try to pin `id`. On a hit the frame's recency is refreshed and the
     /// bytes are returned; on a miss the caller is expected to load the
     /// page and call [`BufferPool::complete_miss`].
     pub fn fix(&mut self, id: PageId) -> FixOutcome {
-        self.stats.logical_reads += 1;
-        self.use_seq += 1;
-        let seq = self.use_seq;
-        if let Some(frame) = self.frames.get(&id) {
-            self.stats.hits += 1;
-            if frame.pin_count == 0 {
-                let key = self.candidate_key(frame, id);
-                self.candidates.remove(&key);
-            }
-            let frame = self.frames.get_mut(&id).expect("present");
-            frame.pin_count += 1;
-            frame.prev_use = frame.last_use;
-            frame.last_use = seq;
-            FixOutcome::Hit(frame.buf.clone())
-        } else {
-            self.stats.misses += 1;
-            FixOutcome::Miss
+        match self.fix_slot(id) {
+            Some(slot) => FixOutcome::Hit(self.frames[slot as usize].buf.clone()),
+            None => FixOutcome::Miss,
         }
+    }
+
+    /// Zero-clone `fix`: on a hit the page is pinned and its slot is
+    /// returned; borrow the bytes via [`BufferPool::slot_buf`]. `None`
+    /// is a miss — load the page and call
+    /// [`BufferPool::complete_miss_slot`]. The slot stays valid (and the
+    /// frame is never recycled) for as long as the page remains pinned.
+    pub fn fix_slot(&mut self, id: PageId) -> Option<u32> {
+        self.stats.logical_reads += 1;
+        if let Some(&slot) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.pin_resident(slot);
+            Some(slot)
+        } else {
+            self.use_seq += 1;
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Bytes of a pinned frame (see [`BufferPool::fix_slot`]).
+    pub fn slot_buf(&self, slot: u32) -> &PageBuf {
+        &self.frames[slot as usize].buf
+    }
+
+    /// Page held by a pinned frame (see [`BufferPool::fix_slot`]).
+    pub fn slot_page(&self, slot: u32) -> PageId {
+        self.frames[slot as usize].id
     }
 
     /// Install a page after a miss, evicting if necessary. The page is
     /// pinned for the caller. Fails with [`StorageError::PoolExhausted`]
     /// if every frame is pinned.
     pub fn complete_miss(&mut self, id: PageId, buf: PageBuf) -> StorageResult<()> {
-        if let Some(frame) = self.frames.get(&id) {
-            // Someone else installed it while we were loading; just pin.
-            if frame.pin_count == 0 {
-                let key = self.candidate_key(frame, id);
-                self.candidates.remove(&key);
-            }
-            self.use_seq += 1;
-            let seq = self.use_seq;
-            let frame = self.frames.get_mut(&id).expect("present");
-            frame.pin_count += 1;
-            frame.prev_use = frame.last_use;
-            frame.last_use = seq;
-            return Ok(());
+        self.complete_miss_slot(id, buf).map(|_| ())
+    }
+
+    /// [`BufferPool::complete_miss`], returning the installed slot for
+    /// the zero-clone path.
+    pub fn complete_miss_slot(&mut self, id: PageId, buf: PageBuf) -> StorageResult<u32> {
+        if let Some(&slot) = self.map.get(&id) {
+            // Someone else installed it while we were loading; just pin
+            // (their bytes win — both loaders read the same page).
+            self.pin_resident(slot);
+            return Ok(slot);
         }
-        if self.frames.len() >= self.cfg.capacity {
-            let victim =
-                self.candidates
-                    .iter()
-                    .next()
-                    .copied()
-                    .ok_or(StorageError::PoolExhausted {
-                        capacity: self.cfg.capacity,
-                    })?;
-            self.candidates.remove(&victim);
-            self.frames.remove(&victim.2);
+        let slot = if self.map.len() >= self.cfg.capacity {
+            let victim = self.victim_slot().ok_or(StorageError::PoolExhausted {
+                capacity: self.cfg.capacity,
+            })?;
+            self.dequeue(victim);
+            let vid = self.frames[victim as usize].id;
+            self.map.remove(&vid);
             self.stats.evictions += 1;
-        }
-        self.use_seq += 1;
-        self.frames.insert(
-            id,
-            Frame {
-                buf,
-                pin_count: 1,
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            let slot = self.frames.len() as u32;
+            self.frames.push(Frame {
+                id,
+                buf: PageBuf::new(),
+                pin_count: 0,
                 priority: PagePriority::Normal,
-                last_use: self.use_seq,
+                last_use: 0,
                 prev_use: 0,
-            },
-        );
-        Ok(())
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        };
+        self.use_seq += 1;
+        let f = &mut self.frames[slot as usize];
+        f.id = id;
+        f.buf = buf;
+        f.pin_count = 1;
+        f.priority = PagePriority::Normal;
+        f.last_use = self.use_seq;
+        f.prev_use = 0;
+        f.prev = NIL;
+        f.next = NIL;
+        self.map.insert(id, slot);
+        Ok(slot)
     }
 
     /// Unpin a page, attaching the release priority hint — the paper's
@@ -289,43 +465,40 @@ impl BufferPool {
     /// priority: the *last* scan over a page decides its fate, which is
     /// exactly the leader/trailer semantics of §7.3.
     pub fn release(&mut self, id: PageId, priority: PagePriority) -> StorageResult<()> {
-        {
-            let frame = self
-                .frames
-                .get_mut(&id)
-                .ok_or(StorageError::NotResident(id))?;
-            if frame.pin_count == 0 {
-                return Err(StorageError::PinViolation(id));
-            }
-            frame.pin_count -= 1;
-            if frame.priority != priority {
-                self.stats.reprioritizations += 1;
-            }
-            frame.priority = priority;
+        let &slot = self.map.get(&id).ok_or(StorageError::NotResident(id))?;
+        let f = &mut self.frames[slot as usize];
+        if f.pin_count == 0 {
+            return Err(StorageError::PinViolation(id));
         }
-        let frame = &self.frames[&id];
-        if frame.pin_count == 0 {
-            let key = self.candidate_key(frame, id);
-            self.candidates.insert(key);
+        f.pin_count -= 1;
+        if f.priority != priority {
+            self.stats.reprioritizations += 1;
+        }
+        f.priority = priority;
+        if f.pin_count == 0 {
+            self.enqueue(slot);
         }
         Ok(())
     }
 
     /// The page that would be evicted next, if any (for tests/inspection).
     pub fn next_victim(&self) -> Option<PageId> {
-        self.candidates.iter().next().map(|&(_, _, id)| id)
+        self.victim_slot().map(|s| self.frames[s as usize].id)
     }
 
     /// Snapshot of every resident frame in page-id order — the raw
     /// material for a pool-residency heatmap.
     pub fn resident_pages(&self) -> Vec<ResidentPage> {
         let mut out: Vec<ResidentPage> = self
-            .frames
-            .iter()
-            .map(|(&id, f)| ResidentPage {
-                id,
-                priority: f.priority,
-                pinned: f.pin_count > 0,
+            .map
+            .values()
+            .map(|&slot| {
+                let f = &self.frames[slot as usize];
+                ResidentPage {
+                    id: f.id,
+                    priority: f.priority,
+                    pinned: f.pin_count > 0,
+                }
             })
             .collect();
         out.sort_by_key(|r| r.id);
@@ -337,22 +510,42 @@ impl BufferPool {
     /// scans ("ring buffers"), preventing one scan from flushing the
     /// pool — the vanilla baseline behavior of the papers.
     pub fn discard(&mut self, id: PageId) {
-        let Some(frame) = self.frames.get(&id) else {
+        let Some(&slot) = self.map.get(&id) else {
             return;
         };
-        if frame.pin_count > 0 {
+        if self.frames[slot as usize].pin_count > 0 {
             return;
         }
-        let key = self.candidate_key(frame, id);
-        self.candidates.remove(&key);
-        self.frames.remove(&id);
+        self.dequeue(slot);
+        self.frames[slot as usize].buf = PageBuf::new();
+        self.map.remove(&id);
+        self.free.push(slot);
     }
 
     /// Drop every unpinned frame (used between experiment phases so base
     /// and scan-sharing runs start cold).
     pub fn clear_unpinned(&mut self) {
-        for (_, _, id) in std::mem::take(&mut self.candidates) {
-            self.frames.remove(&id);
+        if self.cfg.policy == ReplacementPolicy::Lru2 {
+            for (_, id) in std::mem::take(&mut self.lru2) {
+                let slot = self.map.remove(&id).expect("candidate is resident");
+                self.frames[slot as usize].buf = PageBuf::new();
+                self.free.push(slot);
+            }
+            return;
+        }
+        for class in 0..CLASSES {
+            let mut at = self.lists[class].head;
+            while at != NIL {
+                let f = &mut self.frames[at as usize];
+                let next = f.next;
+                f.prev = NIL;
+                f.next = NIL;
+                f.buf = PageBuf::new();
+                self.map.remove(&f.id);
+                self.free.push(at);
+                at = next;
+            }
+            self.lists[class] = CandidateList::empty();
         }
     }
 }
@@ -625,5 +818,59 @@ mod tests {
         visit(&mut p, pid(0), PagePriority::Normal);
         visit(&mut p, pid(0), PagePriority::Normal);
         assert!((p.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_api_matches_fix_and_borrows_without_cloning() {
+        let mut p = pool(2, ReplacementPolicy::PriorityLru);
+        assert_eq!(p.fix_slot(pid(0)), None);
+        let slot = p.complete_miss_slot(pid(0), buf(9)).unwrap();
+        assert_eq!(p.slot_page(slot), pid(0));
+        assert_eq!(p.slot_buf(slot)[0], 9);
+        p.release(pid(0), PagePriority::Normal).unwrap();
+        // Hit path: same slot comes back, no clone needed to read.
+        assert_eq!(p.fix_slot(pid(0)), Some(slot));
+        assert_eq!(p.slot_buf(slot)[0], 9);
+        p.release(pid(0), PagePriority::High).unwrap();
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn slots_are_stable_while_pinned_and_recycled_after_eviction() {
+        let mut p = pool(2, ReplacementPolicy::Lru);
+        let s0 = p.complete_miss_slot(pid(0), buf(0)).unwrap();
+        let s1 = p.complete_miss_slot(pid(1), buf(1)).unwrap();
+        assert_ne!(s0, s1);
+        // Page 0 stays pinned across an eviction cycle of page 1.
+        p.release(pid(1), PagePriority::Normal).unwrap();
+        let s2 = p.complete_miss_slot(pid(2), buf(2)).unwrap();
+        assert_eq!(s2, s1, "evicted frame's slot is recycled");
+        assert_eq!(p.slot_page(s0), pid(0));
+        assert_eq!(p.slot_buf(s0)[0], 0);
+        p.release(pid(0), PagePriority::Normal).unwrap();
+        p.release(pid(2), PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_releases_keep_lru_order_by_use() {
+        // Fix three pages (recency 0 < 1 < 2), then release newest-first:
+        // the victim order must still follow use recency, not release
+        // order — the invariant the positioned list insertion maintains.
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::PriorityLru] {
+            let mut p = pool(4, policy);
+            for i in 0..3 {
+                assert!(matches!(p.fix(pid(i)), FixOutcome::Miss));
+                p.complete_miss(pid(i), buf(i as u8)).unwrap();
+            }
+            for i in (0..3).rev() {
+                p.release(pid(i), PagePriority::Normal).unwrap();
+            }
+            assert_eq!(p.next_victim(), Some(pid(0)));
+            visit(&mut p, pid(3), PagePriority::Normal);
+            visit(&mut p, pid(4), PagePriority::Normal); // evict 0
+            assert!(!p.contains(pid(0)));
+            assert_eq!(p.next_victim(), Some(pid(1)));
+        }
     }
 }
