@@ -13,7 +13,7 @@
 
 use scanshare::SharingConfig;
 use scanshare_bench::gate::{collect_metrics, compare, has_regression, render_diffs, GateBaseline};
-use scanshare_engine::{run_workloads, RunReport, SharingMode};
+use scanshare_engine::{run_workloads, FaultsConfig, RunReport, SharingMode};
 use scanshare_tpch::{generate, throughput_workload, TpchConfig};
 
 /// Streams in the smoke workload.
@@ -32,18 +32,21 @@ fn smoke_description(cfg: &TpchConfig) -> String {
     )
 }
 
-fn run_smoke_pair(jobs: usize) -> (RunReport, RunReport) {
+fn run_smoke_pair(jobs: usize, faults: &FaultsConfig) -> (RunReport, RunReport) {
     let cfg = smoke_config();
     let db = generate(&cfg);
     let months = cfg.months as i64;
-    let base_spec = throughput_workload(&db, SMOKE_STREAMS, months, cfg.seed, SharingMode::Base);
-    let ss_spec = throughput_workload(
+    let mut base_spec =
+        throughput_workload(&db, SMOKE_STREAMS, months, cfg.seed, SharingMode::Base);
+    let mut ss_spec = throughput_workload(
         &db,
         SMOKE_STREAMS,
         months,
         cfg.seed,
         SharingMode::ScanSharing(SharingConfig::new(0)),
     );
+    base_spec.faults = faults.clone();
+    ss_spec.faults = faults.clone();
     eprintln!(
         "running pinned smoke workload ({}) ...",
         smoke_description(&cfg)
@@ -76,8 +79,12 @@ USAGE:
                                              (re)write the baseline
 
 OPTIONS:
-  --jobs N    worker threads for the base/scan-sharing pair (default 1);
-              reports are bit-identical for any N, only wall time changes
+  --jobs N       worker threads for the base/scan-sharing pair (default 1);
+                 reports are bit-identical for any N, only wall time changes
+  --faults FILE  apply a FaultsConfig JSON (seeded fault plan + retry
+                 policy) to both smoke runs; canned plans live in
+                 results/fault_plans/. An empty plan must leave every
+                 gated metric at 0.00% delta
 ";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -101,9 +108,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let faults = match flag_value(&args, "--faults") {
+        None => FaultsConfig::default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("invalid fault plan {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let code = match (gate, write) {
-        (Some(path), None) => run_gate(&path, jobs),
-        (None, Some(path)) => write_baseline(&path, jobs),
+        (Some(path), None) => run_gate(&path, jobs, &faults),
+        (None, Some(path)) => write_baseline(&path, jobs, &faults),
         _ => {
             eprint!("{USAGE}");
             2
@@ -112,9 +138,9 @@ fn main() {
     std::process::exit(code);
 }
 
-fn write_baseline(path: &str, jobs: usize) -> i32 {
+fn write_baseline(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
     let cfg = smoke_config();
-    let (base, ss) = run_smoke_pair(jobs);
+    let (base, ss) = run_smoke_pair(jobs, faults);
     let baseline = GateBaseline {
         description: smoke_description(&cfg),
         metrics: collect_metrics(&base, &ss),
@@ -140,7 +166,7 @@ fn write_baseline(path: &str, jobs: usize) -> i32 {
     0
 }
 
-fn run_gate(path: &str, jobs: usize) -> i32 {
+fn run_gate(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -155,7 +181,7 @@ fn run_gate(path: &str, jobs: usize) -> i32 {
             return 2;
         }
     };
-    let (base, ss) = run_smoke_pair(jobs);
+    let (base, ss) = run_smoke_pair(jobs, faults);
     let current = collect_metrics(&base, &ss);
     let diffs = compare(&baseline, &current);
     print!("{}", render_diffs(&baseline.description, &diffs));

@@ -105,6 +105,7 @@ fn main() {
                 pool_pages: paper_pool_pages(&db),
                 engine: Default::default(),
                 mode: mode.clone(),
+                faults: Default::default(),
             };
             let r = run_workload(&db, &spec).expect("run");
             let t = r.makespan.as_secs_f64();

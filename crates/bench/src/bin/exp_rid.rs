@@ -108,6 +108,7 @@ fn main() {
         pool_pages: (pages as usize / 20).max(32),
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     };
     let (rb, rs) = run_pair(&db, &spec(SharingMode::Base), &spec(ss_mode()));
 

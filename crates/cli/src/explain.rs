@@ -34,6 +34,9 @@ fn kind_name(e: &DecisionEvent) -> &'static str {
         DecisionEvent::SlowdownCapHit { .. } => "cap-hit",
         DecisionEvent::RoleChange { .. } => "role-change",
         DecisionEvent::PageReprioritize { .. } => "reprioritize",
+        DecisionEvent::FaultInjected { .. } => "fault",
+        DecisionEvent::ScanEvicted { .. } => "evicted",
+        DecisionEvent::DegradedMode { .. } => "degraded",
     }
 }
 
@@ -192,6 +195,7 @@ mod tests {
             metrics: Default::default(),
             trace: vec![],
             decisions,
+            faults: Default::default(),
         }
     }
 

@@ -14,7 +14,8 @@
 
 use scanshare::SharingConfig;
 use scanshare_engine::{
-    run_workload, run_workload_traced, Database, RunReport, SharingMode, Tracer, WorkloadSpec,
+    run_workload, run_workload_traced, Database, FaultsConfig, RunReport, SharingMode, Tracer,
+    WorkloadSpec,
 };
 use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
 use serde::{Deserialize, Serialize};
@@ -70,11 +71,12 @@ pub enum Command {
         seed: u64,
         stagger_frac: f64,
     },
-    /// `run --spec FILE [--db FILE] [--compare] [--report OUT]
-    /// [--trace-out OUT]`
+    /// `run --spec FILE [--db FILE] [--faults FILE] [--compare]
+    /// [--report OUT] [--trace-out OUT]`
     Run {
         spec: String,
         db: Option<String>,
+        faults: Option<String>,
         compare: bool,
         outputs: RunOutputs,
     },
@@ -209,6 +211,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             Ok(Command::Run {
                 spec,
                 db: flag_value(args, "--db").map(String::from),
+                faults: flag_value(args, "--faults").map(String::from),
                 compare: args.iter().any(|a| a == "--compare"),
                 outputs: RunOutputs {
                     report: flag_value(args, "--report").map(String::from),
@@ -277,12 +280,16 @@ USAGE:
   scanshare staggered [--query q1|q6] [--copies N] [--scale S] [--seed X]
                       [--stagger-frac F]
       Staggered single-query run (Figure 15/16 setup).
-  scanshare run --spec FILE [--db FILE] [--compare] [--report OUT]
-                [--trace-out OUT]
+  scanshare run --spec FILE [--db FILE] [--faults FILE] [--compare]
+                [--report OUT] [--trace-out OUT]
       Execute a JSON RunSpec; --compare forces base vs scan-sharing;
       --db loads a previously generated database instead of regenerating;
+      --faults overrides the spec's fault-injection section with a
+      FaultsConfig JSON (seeded fault plan + retry/timeout policy);
       --report saves the full RunReport (metrics + trace) as JSON and
       --trace-out saves the event log alone as JSON-lines.
+      Exits 0 on success, 1 on engine failure, 2 on bad input, and 3
+      when injected faults aborted at least one scan (degraded run).
   scanshare trace --artifact FILE
       Replay a saved RunReport (or raw JSON-lines trace): scan
       lifecycles with attributed throttle waits, then the event log.
@@ -425,6 +432,7 @@ pub fn execute(cmd: Command) -> i32 {
         Command::Run {
             spec,
             db,
+            faults,
             compare,
             outputs,
         } => {
@@ -435,13 +443,22 @@ pub fn execute(cmd: Command) -> i32 {
                     return 2;
                 }
             };
-            let parsed: RunSpec = match serde_json::from_str(&text) {
+            let mut parsed: RunSpec = match serde_json::from_str(&text) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("invalid spec {spec}: {e}");
                     return 2;
                 }
             };
+            if let Some(path) = faults {
+                match load_fault_config(&path) {
+                    Ok(cfg) => parsed.workload.faults = cfg,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return 2;
+                    }
+                }
+            }
             let database = match db {
                 Some(path) => match Database::load(&path) {
                     Ok(d) => d,
@@ -566,6 +583,12 @@ pub fn execute(cmd: Command) -> i32 {
     }
 }
 
+/// Load a fault-injection plan (`FaultsConfig` JSON) for `run --faults`.
+pub fn load_fault_config(path: &str) -> Result<FaultsConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("invalid fault plan {path}: {e}"))
+}
+
 /// Load a saved [`RunReport`] JSON artifact.
 pub fn load_report(path: &str) -> Result<RunReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -672,6 +695,21 @@ fn run_bench(streams: usize, scale: f64, seed: u64, runs: usize, jobs: usize) ->
     0
 }
 
+/// Exit code for a completed run: 0 when every scan finished, 3 when a
+/// permanent (or retry-exhausted) fault aborted at least one scan and the
+/// run degraded to partial results.
+fn degraded_exit(r: &RunReport) -> i32 {
+    if r.faults.scans_aborted > 0 {
+        eprintln!(
+            "degraded run: {} scan(s) aborted by injected faults",
+            r.faults.scans_aborted
+        );
+        3
+    } else {
+        0
+    }
+}
+
 fn run_maybe_compare_with(
     db: &Database,
     spec: &WorkloadSpec,
@@ -697,12 +735,12 @@ fn run_maybe_compare_with(
             }
         };
         print_comparison(&rb, &rs);
-        0
+        degraded_exit(&rb).max(degraded_exit(&rs))
     } else {
         match run_measured(db, spec, outputs) {
             Ok(r) => {
                 print_report("run", &r);
-                0
+                degraded_exit(&r)
             }
             Err(e) => {
                 eprintln!("{e}");
@@ -818,11 +856,22 @@ mod tests {
             Command::Run {
                 spec: "s.json".into(),
                 db: None,
+                faults: None,
                 compare: false,
                 outputs: RunOutputs {
                     report: Some("out.json".into()),
                     trace: Some("t.jsonl".into()),
                 },
+            }
+        );
+        assert_eq!(
+            parse_args(&args("run --spec s.json --faults plan.json")).unwrap(),
+            Command::Run {
+                spec: "s.json".into(),
+                db: None,
+                faults: Some("plan.json".into()),
+                compare: false,
+                outputs: RunOutputs::default(),
             }
         );
         assert_eq!(

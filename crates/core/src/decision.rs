@@ -158,6 +158,46 @@ pub enum DecisionEvent {
         /// Priority attached from now on.
         to: PagePriority,
     },
+    /// A fault plan fired in the scan's I/O path (reported by the engine
+    /// after the fact; transient faults that a retry absorbed still show
+    /// up here, which is how `explain` narrates retries).
+    FaultInjected {
+        /// The scan whose read was hit.
+        scan: ScanId,
+        /// The device the fault fired on.
+        device: u32,
+        /// The physical page address of the faulted request.
+        page: u64,
+        /// Whether a retry may succeed (`false`: dead device/region).
+        transient: bool,
+        /// 1-based attempt number the fault hit (attempt 2+ means the
+        /// engine was already retrying).
+        attempt: u32,
+    },
+    /// A faulted scan was removed from sharing: its group re-forms
+    /// without it and any throttling it justified is lifted.
+    ScanEvicted {
+        /// The evicted scan.
+        scan: ScanId,
+        /// The group it was evicted from.
+        group: AnchorId,
+        /// The scanned object.
+        object: ObjectId,
+        /// Why the manager gave up on the scan.
+        reason: String,
+        /// Scans remaining in the group after the eviction.
+        remaining: usize,
+    },
+    /// The manager acknowledged running degraded: a scan has been lost
+    /// to faults and sharing proceeds with the survivors.
+    DegradedMode {
+        /// The scan whose loss triggered this transition.
+        scan: ScanId,
+        /// Scans evicted by faults so far this run.
+        evicted_total: u64,
+        /// Ongoing scans still being shared.
+        active: usize,
+    },
 }
 
 impl DecisionEvent {
@@ -170,7 +210,10 @@ impl DecisionEvent {
             | DecisionEvent::Unthrottle { scan, .. }
             | DecisionEvent::SlowdownCapHit { scan, .. }
             | DecisionEvent::RoleChange { scan, .. }
-            | DecisionEvent::PageReprioritize { scan, .. } => *scan,
+            | DecisionEvent::PageReprioritize { scan, .. }
+            | DecisionEvent::FaultInjected { scan, .. }
+            | DecisionEvent::ScanEvicted { scan, .. }
+            | DecisionEvent::DegradedMode { scan, .. } => *scan,
         }
     }
 
@@ -179,7 +222,8 @@ impl DecisionEvent {
         match self {
             DecisionEvent::Throttle { group, .. }
             | DecisionEvent::Unthrottle { group, .. }
-            | DecisionEvent::RoleChange { group, .. } => Some(*group),
+            | DecisionEvent::RoleChange { group, .. }
+            | DecisionEvent::ScanEvicted { group, .. } => Some(*group),
             _ => None,
         }
     }
@@ -441,6 +485,38 @@ pub fn describe(event: &DecisionEvent) -> String {
             priority_name(*from),
             role_name(*role)
         ),
+        DecisionEvent::FaultInjected {
+            scan,
+            device,
+            page,
+            transient,
+            attempt,
+        } => {
+            let kind = if *transient { "transient" } else { "permanent" };
+            format!(
+                "scan {} hit a {kind} read fault on device {device} page {page} (attempt {attempt})",
+                scan.0
+            )
+        }
+        DecisionEvent::ScanEvicted {
+            scan,
+            reason,
+            remaining,
+            ..
+        } => format!(
+            "scan {} evicted from its group ({reason}); {remaining} member{} remain",
+            scan.0,
+            if *remaining == 1 { "" } else { "s" }
+        ),
+        DecisionEvent::DegradedMode {
+            scan,
+            evicted_total,
+            active,
+        } => format!(
+            "degraded mode: scan {} lost to faults ({evicted_total} evicted so far, {active} scan{} still sharing)",
+            scan.0,
+            if *active == 1 { "" } else { "s" }
+        ),
     }
 }
 
@@ -533,6 +609,25 @@ mod tests {
                 from: PagePriority::Normal,
                 to: PagePriority::Low,
             },
+            DecisionEvent::FaultInjected {
+                scan: ScanId(2),
+                device: 1,
+                page: 640,
+                transient: true,
+                attempt: 2,
+            },
+            DecisionEvent::ScanEvicted {
+                scan: ScanId(2),
+                group: AnchorId(0),
+                object: ObjectId(3),
+                reason: "permanent read fault on device 1".to_string(),
+                remaining: 2,
+            },
+            DecisionEvent::DegradedMode {
+                scan: ScanId(2),
+                evicted_total: 1,
+                active: 2,
+            },
         ]
     }
 
@@ -543,7 +638,7 @@ mod tests {
             log.record(SimTime::from_millis(i as u64), e);
         }
         let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 7);
+        assert_eq!(jsonl.lines().count(), 10);
         let back = decisions_from_jsonl(&jsonl).unwrap();
         assert_eq!(back, log.records());
         // Blank lines tolerated; garbage names its line.
@@ -609,6 +704,17 @@ mod tests {
         assert!(role.contains("middle -> trailer"), "got: {role}");
         let prio = describe(&events[6]);
         assert!(prio.contains("low"), "got: {prio}");
+        let fault = describe(&events[7]);
+        assert!(
+            fault.contains("transient read fault on device 1 page 640"),
+            "got: {fault}"
+        );
+        assert!(fault.contains("attempt 2"), "got: {fault}");
+        let evict = describe(&events[8]);
+        assert!(evict.contains("evicted"), "got: {evict}");
+        assert!(evict.contains("2 members remain"), "got: {evict}");
+        let degraded = describe(&events[9]);
+        assert!(degraded.contains("degraded mode"), "got: {degraded}");
     }
 
     #[test]
@@ -618,6 +724,10 @@ mod tests {
         assert_eq!(events[0].group(), None);
         assert_eq!(events[2].group(), Some(AnchorId(0)));
         assert_eq!(events[5].group(), Some(AnchorId(0)));
+        assert_eq!(events[7].scan(), ScanId(2));
+        assert_eq!(events[7].group(), None);
+        assert_eq!(events[8].group(), Some(AnchorId(0)));
+        assert_eq!(events[9].group(), None);
     }
 
     #[test]

@@ -153,6 +153,10 @@ struct Inner {
     total_pages_advanced: u64,
     next_scan: u64,
     stats: SharingStats,
+    /// Scans removed from sharing by [`ScanSharingManager::evict_scan`]
+    /// (fault degradation). Kept out of [`SharingStats`] so fault-free
+    /// reports serialize byte-identically to pre-fault builds.
+    evicted_by_fault: u64,
 }
 
 impl Inner {
@@ -189,6 +193,7 @@ impl ScanSharingManager {
                 total_pages_advanced: 0,
                 next_scan: 0,
                 stats: SharingStats::default(),
+                evicted_by_fault: 0,
             }),
             decisions: Mutex::new(None),
         }
@@ -780,6 +785,115 @@ impl ScanSharingManager {
         }
     }
 
+    /// The engine observed a fault plan firing in the scan's I/O path:
+    /// record it as provenance so `explain`/`watch` narrate fault
+    /// handling (including transient faults a retry absorbed).
+    pub fn note_fault(
+        &self,
+        id: ScanId,
+        now: SimTime,
+        device: u32,
+        page: u64,
+        transient: bool,
+        attempt: u32,
+    ) {
+        self.emit(
+            now,
+            DecisionEvent::FaultInjected {
+                scan: id,
+                device,
+                page,
+                transient,
+                attempt,
+            },
+        );
+    }
+
+    /// Graceful degradation: remove a scan that died to a permanent
+    /// fault (or exhausted its retries) from sharing. Its group re-forms
+    /// without it, any throttling its position justified is lifted
+    /// immediately (a leader must not keep waiting for a dead trailer),
+    /// and survivor roles are reclassified. Unlike
+    /// [`ScanSharingManager::end_scan`], the final location is *not*
+    /// remembered as joinable leftovers — the scan did not finish its
+    /// pass, so its trailing pages are not a complete prefix.
+    pub fn evict_scan(&self, id: ScanId, now: SimTime, reason: &str) {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.scans.remove(&id) else {
+            return;
+        };
+        inner.evicted_by_fault += 1;
+        let evicted_total = inner.evicted_by_fault;
+        let anchor = state.anchor;
+        let remaining = inner.scans.values().filter(|s| s.anchor == anchor).count();
+        self.emit(
+            now,
+            DecisionEvent::ScanEvicted {
+                scan: id,
+                group: anchor,
+                object: state.desc.object,
+                reason: reason.to_string(),
+                remaining,
+            },
+        );
+        self.emit(
+            now,
+            DecisionEvent::DegradedMode {
+                scan: id,
+                evicted_total,
+                active: inner.scans.len(),
+            },
+        );
+
+        // Re-evaluate the survivors now instead of waiting for their next
+        // location update: lift throttling and reclassify roles.
+        let groups = inner.compute_groups(self.cfg.pool_pages);
+        let threshold_pages = self.cfg.throttle_threshold_pages();
+        let mut ids: Vec<ScanId> = inner.scans.keys().copied().collect();
+        ids.sort();
+        for sid in ids {
+            let role = groups.role(sid).unwrap_or(Role::Singleton);
+            let group = groups.group_of(sid);
+            let (g_anchor, g_extent, g_members) = group
+                .map(|g| (g.anchor, g.extent, g.members.len()))
+                .unwrap_or((anchor, 0, 1));
+            let s = inner.scans.get_mut(&sid).expect("scan present");
+            if s.throttled {
+                s.throttled = false;
+                self.emit(
+                    now,
+                    DecisionEvent::Unthrottle {
+                        scan: sid,
+                        group: g_anchor,
+                        distance_pages: g_extent,
+                        threshold_pages,
+                    },
+                );
+            }
+            if let Some(prev) = s.last_role {
+                if prev != role {
+                    s.last_role = Some(role);
+                    self.emit(
+                        now,
+                        DecisionEvent::RoleChange {
+                            scan: sid,
+                            group: g_anchor,
+                            from: prev,
+                            to: role,
+                            group_extent: g_extent,
+                            members: g_members,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scans evicted from sharing by fault degradation.
+    pub fn scans_evicted(&self) -> u64 {
+        self.inner.lock().evicted_by_fault
+    }
+
     /// `ISM.pr()`: the release priority for a scan's pages right now.
     pub fn page_priority(&self, id: ScanId) -> PagePriority {
         if !self.cfg.enable_priorities {
@@ -991,6 +1105,84 @@ mod tests {
         let stats = m.stats();
         assert_eq!(stats.waits_injected, 1);
         assert!(stats.total_wait > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn evicting_a_dead_trailer_unthrottles_the_leader() {
+        let m = mgr(1000);
+        let log = crate::decision::DecisionLog::new(256);
+        m.attach_decision_log(log.clone());
+        let (s1, _) = m.start_scan(table_desc(0, 10_000, 100), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        m.update_location(s1, t1, Location::new(500, 500), 500);
+        let (s2, _) = m.start_scan(table_desc(0, 10_000, 100), t1);
+        let t2 = SimTime::from_secs(6);
+        // Leader sprints ahead of the trailer and gets throttled.
+        m.update_location(s2, t2, Location::new(540, 540), 40);
+        let o1 = m.update_location(s1, t2, Location::new(700, 700), 200);
+        assert!(o1.wait > SimDuration::ZERO, "leader must be throttled");
+
+        // The trailer dies to a permanent fault and is evicted.
+        let t3 = SimTime::from_secs(7);
+        m.note_fault(s2, t3, 0, 540, false, 1);
+        m.evict_scan(s2, t3, "permanent read fault on device 0");
+        assert_eq!(m.num_active(), 1);
+        assert_eq!(m.scans_evicted(), 1);
+
+        let events: Vec<_> = log.records().into_iter().map(|r| r.event).collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DecisionEvent::FaultInjected { scan, transient: false, .. } if *scan == s2)),
+            "fault provenance missing: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DecisionEvent::ScanEvicted { scan, remaining: 1, .. } if *scan == s2)),
+            "eviction event missing: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                DecisionEvent::DegradedMode {
+                    evicted_total: 1,
+                    active: 1,
+                    ..
+                }
+            )),
+            "degraded-mode event missing: {events:?}"
+        );
+        // The leader is released immediately, not at its next update.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DecisionEvent::Unthrottle { scan, .. } if *scan == s1)),
+            "leader unthrottle missing: {events:?}"
+        );
+        // And reclassified: a group of one has no leader.
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                DecisionEvent::RoleChange { scan, from: Role::Leader, to: Role::Singleton, .. } if *scan == s1
+            )),
+            "leader reclassification missing: {events:?}"
+        );
+        // The evicted scan's position is not joinable leftovers.
+        let (_, d) = m.start_scan(table_desc(0, 10_000, 100), t3);
+        assert!(
+            matches!(d, StartDecision::JoinAt { scan: Some(j), .. } if j == s1)
+                || d.is_from_start()
+        );
+    }
+
+    #[test]
+    fn evicting_an_unknown_scan_is_a_noop() {
+        let m = mgr(1000);
+        let (s1, _) = m.start_scan(table_desc(0, 1000, 10), SimTime::ZERO);
+        m.end_scan(s1, SimTime::from_secs(1));
+        m.evict_scan(s1, SimTime::from_secs(2), "already gone");
+        assert_eq!(m.scans_evicted(), 0);
     }
 
     #[test]

@@ -14,10 +14,12 @@ use std::sync::Arc;
 use scanshare::obs::{Histogram, MetricsRegistry};
 use scanshare::ScanSharingManager;
 use scanshare_storage::{
-    BufferPool, DiskArray, FileStore, PageId, PagePriority, SimDuration, SimTime, StorageResult,
+    BufferPool, DiskArray, FileStore, PageId, PagePriority, ReadCompletion, SimDuration, SimTime,
+    StorageError, StorageResult,
 };
 
 use crate::cost::EngineConfig;
+use crate::faults::{FaultEvent, FaultState, FaultsConfig};
 use crate::metrics::Breakdown;
 
 /// Timing and counters of one extent fetch. The pages themselves land in
@@ -67,6 +69,9 @@ pub struct ExecWorld<'a> {
     /// `fetch_extent`/`prefetch`, so the per-extent hot path allocates
     /// nothing in steady state.
     miss_scratch: Vec<(PageId, u64)>,
+    /// Fault-injection state, when this run carries a fault plan. `None`
+    /// keeps the fault-free fast path (and its reports) untouched.
+    faults: Option<FaultState>,
     /// CPU usage accumulators (user/system; idle and wait are derived at
     /// report time).
     pub user_time: SimDuration,
@@ -106,9 +111,100 @@ impl<'a> ExecWorld<'a> {
             cpus,
             available_at: HashMap::new(),
             miss_scratch: Vec::new(),
+            faults: None,
             user_time: SimDuration::ZERO,
             sys_time: SimDuration::ZERO,
             io_wait_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Arm fault injection for this run. Fault-free runs never call this,
+    /// so they keep the exact pre-fault code path (and report bytes).
+    pub fn enable_faults(&mut self, cfg: &FaultsConfig) {
+        self.faults = Some(FaultState::new(cfg));
+    }
+
+    /// Whether fault injection is armed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The run's fault summary (`None` when fault injection is off).
+    pub fn fault_summary(&self) -> Option<crate::faults::FaultSummary> {
+        self.faults.as_ref().map(|f| f.summary())
+    }
+
+    /// Drain fault occurrences observed since the last call. The scan
+    /// executor calls this right after its fetch, attributing the events
+    /// to the scan that issued the reads.
+    pub(crate) fn take_fault_events(&mut self, out: &mut Vec<FaultEvent>) {
+        if let Some(fs) = self.faults.as_mut() {
+            out.append(&mut fs.pending);
+        }
+    }
+
+    /// Count a scan aborted by faults (maintained by the scan executor).
+    pub(crate) fn note_scan_aborted(&mut self) {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.scans_aborted += 1;
+        }
+    }
+
+    /// Issue one physical read run, applying the fault plan when armed:
+    /// transient errors and stall timeouts are retried with doubling
+    /// backoff up to the retry budget; permanent errors (and exhausted
+    /// budgets) surface as `StorageError::ReadFault`.
+    fn read_run(&mut self, now: SimTime, phys: u64, npages: u32) -> StorageResult<ReadCompletion> {
+        let disk = &mut self.disk;
+        let Some(fs) = self.faults.as_mut() else {
+            return Ok(disk.read(now, phys, npages));
+        };
+        let mut attempt: u32 = 1;
+        let mut issue = now;
+        loop {
+            match disk.read_faulted(issue, phys, npages, &mut fs.injector) {
+                Ok(c) => {
+                    if c.done.since(c.start) > fs.timeout && attempt <= fs.max_retries {
+                        // The device sat on the request past the timeout:
+                        // declare it lost and re-issue once it completes
+                        // (the device did the work either way).
+                        fs.timeouts += 1;
+                        fs.retries += 1;
+                        attempt += 1;
+                        issue = c.done;
+                        continue;
+                    }
+                    return Ok(c);
+                }
+                Err(StorageError::ReadFault {
+                    device,
+                    addr,
+                    transient,
+                }) => {
+                    fs.pending.push(FaultEvent {
+                        device,
+                        addr,
+                        transient,
+                        attempt,
+                    });
+                    if transient && attempt <= fs.max_retries {
+                        fs.retries += 1;
+                        let backoff = SimDuration::from_micros(
+                            fs.backoff.as_micros() << (attempt - 1).min(16),
+                        );
+                        fs.backoff_wait += backoff;
+                        issue += backoff;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(StorageError::ReadFault {
+                        device,
+                        addr,
+                        transient,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -154,7 +250,20 @@ impl<'a> ExecWorld<'a> {
                 j += 1;
             }
             let (_, phys) = misses[i];
-            let completion = self.disk.read(now, phys, (j - i) as u32);
+            let completion = match self.read_run(now, phys, (j - i) as u32) {
+                Ok(c) => c,
+                Err(e) => {
+                    // The fetch failed partway: unpin everything it
+                    // pinned (hits and earlier miss runs) so the caller
+                    // can abort the scan without leaking pins.
+                    for &(id, _) in pages.iter() {
+                        let _ = self.pool.release(id, PagePriority::Normal);
+                    }
+                    pages.clear();
+                    self.miss_scratch = misses;
+                    return Err(e);
+                }
+            };
             self.read_hist
                 .record(completion.done.since(now).as_micros());
             requests += 1;
@@ -201,7 +310,20 @@ impl<'a> ExecWorld<'a> {
                 j += 1;
             }
             let (_, phys) = misses[i];
-            let completion = self.disk.read(now, phys, (j - i) as u32);
+            let completion = match self.read_run(now, phys, (j - i) as u32) {
+                Ok(c) => c,
+                Err(StorageError::ReadFault { .. }) => {
+                    // Prefetch is opportunistic: drop this run (the
+                    // demand fetch will face the fault itself) and keep
+                    // prefetching the rest.
+                    i = j;
+                    continue;
+                }
+                Err(e) => {
+                    self.miss_scratch = misses;
+                    return Err(e);
+                }
+            };
             self.read_hist
                 .record(completion.done.since(now).as_micros());
             self.sys_time += self.cfg.sys_per_request;
@@ -392,6 +514,153 @@ mod tests {
         assert_eq!(d2, SimTime::from_millis(10));
         assert_eq!(d3, SimTime::from_millis(20), "third job queues");
         assert_eq!(w.user_time, SimDuration::from_millis(30));
+    }
+
+    fn faults_cfg(rules: Vec<scanshare_storage::FaultRule>) -> FaultsConfig {
+        FaultsConfig {
+            plan: scanshare_storage::FaultPlan { seed: 0, rules },
+            ..FaultsConfig::default()
+        }
+    }
+
+    fn everywhere(fault: scanshare_storage::FaultKind) -> scanshare_storage::FaultRule {
+        scanshare_storage::FaultRule {
+            device: None,
+            pages: None,
+            from_us: 0,
+            until_us: None,
+            fault,
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_the_fetch_succeeds() {
+        use scanshare_storage::FaultKind;
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        // Seed 0 at p=0.5 deterministically faults the first two attempts
+        // of the run at address 0 and passes the third, well inside the
+        // default budget of 4 retries.
+        w.enable_faults(&faults_cfg(vec![everywhere(FaultKind::TransientError {
+            probability: 0.5,
+        })]));
+        let mut pages = Vec::new();
+        let r = w
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut pages)
+            .unwrap();
+        assert_eq!(r.misses, 16);
+        let s = w.fault_summary().unwrap();
+        assert!(s.transient_errors > 0, "seed produced no fault: {s:?}");
+        assert_eq!(s.retries, s.transient_errors);
+        assert!(s.backoff_wait > SimDuration::ZERO);
+        let mut events = Vec::new();
+        w.take_fault_events(&mut events);
+        assert_eq!(events.len() as u64, s.transient_errors);
+        assert!(events.iter().all(|e| e.transient));
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn permanent_fault_fails_the_fetch_without_leaking_pins() {
+        use scanshare_storage::{FaultKind, FaultRule, StorageError};
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        // Warm pages 0..4 so the failing fetch holds pinned hits, then
+        // kill pages 4.. so the miss run (which starts at page 4) faults.
+        let mut pages = Vec::new();
+        let warm: Vec<PageId> = pids(16)[..4].to_vec();
+        w.fetch_extent(SimTime::ZERO, &warm, &mut pages).unwrap();
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
+        w.enable_faults(&faults_cfg(vec![FaultRule {
+            device: None,
+            pages: Some((4, u64::MAX)),
+            from_us: 0,
+            until_us: None,
+            fault: FaultKind::PermanentError,
+        }]));
+        let err = w
+            .fetch_extent(SimTime::from_millis(1), &pids(16), &mut pages)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ReadFault {
+                transient: false,
+                ..
+            }
+        ));
+        assert!(pages.is_empty(), "failed fetch must hand back nothing");
+        // Nothing is left pinned: the whole pool can be reclaimed.
+        w.pool.clear_unpinned();
+        assert_eq!(w.pool.len(), 0, "a pinned page survived the abort");
+        let s = w.fault_summary().unwrap();
+        assert_eq!(s.permanent_errors, 1);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn stall_timeout_reissues_the_read() {
+        use scanshare_storage::{FaultKind, FaultRule};
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        // Stall only the first attempt window: the reissue (attempt 2)
+        // re-rolls and p<1 eventually passes; use until_us so the retry
+        // lands after the stall rule expired, making it deterministic.
+        w.enable_faults(&faults_cfg(vec![FaultRule {
+            device: None,
+            pages: None,
+            from_us: 0,
+            until_us: Some(1),
+            fault: FaultKind::Stall {
+                probability: 1.0,
+                for_us: 500_000,
+            },
+        }]));
+        let mut pages = Vec::new();
+        let r = w
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut pages)
+            .unwrap();
+        let s = w.fault_summary().unwrap();
+        assert_eq!(s.timeouts, 1, "500ms stall > 200ms timeout: {s:?}");
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.delays_injected, 1);
+        // The reissued read waits out the stalled one (FIFO), then runs.
+        assert!(r.ready.as_micros() > 500_000);
+        w.release_pages(&pages, PagePriority::Normal).unwrap();
+    }
+
+    #[test]
+    fn prefetch_swallows_faults() {
+        use scanshare_storage::FaultKind;
+        let store = store_with_pages(16);
+        let mut w = world(&store, 64);
+        w.enable_faults(&faults_cfg(vec![everywhere(FaultKind::PermanentError)]));
+        // The prefetch drops its run instead of failing.
+        w.prefetch(SimTime::ZERO, &pids(16)).unwrap();
+        assert_eq!(w.disk.stats().pages_read, 0);
+        let s = w.fault_summary().unwrap();
+        assert_eq!(s.permanent_errors, 1);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing_observable() {
+        let store = store_with_pages(16);
+        let mut plain = world(&store, 64);
+        let mut armed = world(&store, 64);
+        armed.enable_faults(&FaultsConfig::default());
+        let mut p1 = Vec::new();
+        let mut p2 = Vec::new();
+        let r1 = plain
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut p1)
+            .unwrap();
+        let r2 = armed
+            .fetch_extent(SimTime::ZERO, &pids(16), &mut p2)
+            .unwrap();
+        assert_eq!(r1.ready, r2.ready);
+        assert_eq!(
+            format!("{:?}", plain.disk.stats()),
+            format!("{:?}", armed.disk.stats())
+        );
+        assert!(armed.fault_summary().unwrap().is_empty());
     }
 
     #[test]

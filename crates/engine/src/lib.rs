@@ -26,6 +26,7 @@ pub mod cost;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod metrics;
 pub mod par_runs;
 pub mod persist;
@@ -37,6 +38,7 @@ pub mod workload;
 pub use cost::{CpuClass, EngineConfig};
 pub use db::Database;
 pub use error::{EngineError, EngineResult};
+pub use faults::{FaultSummary, FaultsConfig};
 pub use metrics::{Breakdown, QueryRecord, RunReport};
 pub use par_runs::{par_map, run_workloads};
 pub use query::{Access, AggSpec, Pred, Query, QueryResult, ScanSpec};

@@ -4,6 +4,7 @@ use scanshare::MetricsSnapshot;
 use scanshare_storage::{DiskStats, PoolStats, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultSummary;
 use crate::trace::TraceRecord;
 
 /// CPU usage breakdown over a run, mirroring the paper's Figures 15/16
@@ -70,7 +71,12 @@ impl QueryRecord {
 }
 
 /// Everything measured over one workload run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (see below) so the
+/// `faults` section only appears in artifacts when something was
+/// actually injected: fault-free runs stay byte-identical to artifacts
+/// written before fault injection existed.
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// End-to-end time of the run (last stream finish).
     pub makespan: SimDuration,
@@ -87,7 +93,6 @@ pub struct RunReport {
     /// Seeks per time bucket (Figure 18).
     pub seek_series: TimeSeries,
     /// Head-travel distance per time bucket, in pages.
-    #[serde(default)]
     pub seek_distance_series: TimeSeries,
     /// Buffer pool counters.
     pub pool: PoolStats,
@@ -97,17 +102,79 @@ pub struct RunReport {
     /// latency histograms, and the interval-sampled time series
     /// (per-group leader-trailer distance, per-scan slowdown vs the
     /// fairness cap, pool hit ratio, evictions, seek distance).
-    #[serde(default)]
     pub metrics: MetricsSnapshot,
     /// The retained trace events, when a tracer was attached (empty
     /// otherwise) — what `scanshare trace` replays.
-    #[serde(default)]
     pub trace: Vec<TraceRecord>,
     /// Decision-provenance events recorded by the sharing manager
     /// (empty in base mode and in older artifacts) — what `scanshare
     /// explain` narrates.
-    #[serde(default)]
     pub decisions: Vec<scanshare::DecisionRecord>,
+    /// Fault-injection and retry accounting (all zero — and omitted
+    /// from artifacts — when the run carried no fault plan).
+    pub faults: FaultSummary,
+}
+
+impl Serialize for RunReport {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("makespan", self.makespan.to_json_value());
+        m.insert("stream_elapsed", self.stream_elapsed.to_json_value());
+        m.insert("queries", self.queries.to_json_value());
+        m.insert("breakdown", self.breakdown.to_json_value());
+        m.insert("disk", self.disk.to_json_value());
+        m.insert("read_series", self.read_series.to_json_value());
+        m.insert("seek_series", self.seek_series.to_json_value());
+        m.insert(
+            "seek_distance_series",
+            self.seek_distance_series.to_json_value(),
+        );
+        m.insert("pool", self.pool.to_json_value());
+        m.insert("sharing", self.sharing.to_json_value());
+        m.insert("metrics", self.metrics.to_json_value());
+        m.insert("trace", self.trace.to_json_value());
+        m.insert("decisions", self.decisions.to_json_value());
+        if !self.faults.is_empty() {
+            m.insert("faults", self.faults.to_json_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(m: &serde::Map, field: &str) -> Result<T, serde::Error> {
+            match m.get(field) {
+                Some(v) => T::from_json_value(v),
+                None => serde::__private::missing_field("RunReport", field),
+            }
+        }
+        fn opt<T: Deserialize + Default>(m: &serde::Map, field: &str) -> Result<T, serde::Error> {
+            match m.get(field) {
+                Some(v) => T::from_json_value(v),
+                None => Ok(T::default()),
+            }
+        }
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::__private::unexpected("object", v))?;
+        Ok(RunReport {
+            makespan: req(m, "makespan")?,
+            stream_elapsed: req(m, "stream_elapsed")?,
+            queries: req(m, "queries")?,
+            breakdown: req(m, "breakdown")?,
+            disk: req(m, "disk")?,
+            read_series: req(m, "read_series")?,
+            seek_series: req(m, "seek_series")?,
+            seek_distance_series: opt(m, "seek_distance_series")?,
+            pool: req(m, "pool")?,
+            sharing: req(m, "sharing")?,
+            metrics: opt(m, "metrics")?,
+            trace: opt(m, "trace")?,
+            decisions: opt(m, "decisions")?,
+            faults: opt(m, "faults")?,
+        })
+    }
 }
 
 impl RunReport {

@@ -170,11 +170,34 @@ mod tests {
             pool_pages: 128,
             engine: EngineConfig::default(),
             mode,
+            faults: Default::default(),
+        };
+        // Include a faulted spec: retry/backoff bookkeeping must be as
+        // schedule-independent as the clean runs.
+        let faulted = {
+            use crate::faults::FaultsConfig;
+            use scanshare_storage::{FaultKind, FaultPlan, FaultRule};
+            let mut s = spec(SharingMode::ScanSharing(SharingConfig::new(0)));
+            s.faults = FaultsConfig {
+                plan: FaultPlan {
+                    seed: 7,
+                    rules: vec![FaultRule {
+                        device: None,
+                        pages: None,
+                        from_us: 0,
+                        until_us: None,
+                        fault: FaultKind::TransientError { probability: 0.02 },
+                    }],
+                },
+                ..FaultsConfig::default()
+            };
+            s
         };
         let specs = vec![
             spec(SharingMode::Base),
             spec(SharingMode::ScanSharing(SharingConfig::new(0))),
             spec(SharingMode::Base),
+            faulted,
         ];
         let render = |reports: Vec<EngineResult<RunReport>>| -> Vec<String> {
             reports

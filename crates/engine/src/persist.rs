@@ -227,6 +227,7 @@ mod tests {
             pool_pages: 64,
             engine: EngineConfig::default(),
             mode: SharingMode::Base,
+            faults: Default::default(),
         };
         let a = run_workload(&db, &spec).unwrap();
         let b = run_workload(&loaded, &spec).unwrap();

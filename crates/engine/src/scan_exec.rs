@@ -14,7 +14,7 @@
 
 use scanshare::{Location, ObjectId, ScanDesc, ScanId, ScanKind};
 use scanshare_relstore::{Entry, HeapPage, Rid, Schema};
-use scanshare_storage::{FileId, PageId, PagePriority, SimDuration, SimTime};
+use scanshare_storage::{FileId, PageId, PagePriority, SimDuration, SimTime, StorageError};
 
 use crate::cost::CpuClass;
 use crate::db::Database;
@@ -76,6 +76,8 @@ struct StepScratch {
     pages: Vec<(PageId, u32)>,
     /// Predicted next-extent pages handed to the prefetcher.
     prefetch: Vec<PageId>,
+    /// Fault events drained from the world after each fetch.
+    faults: Vec<crate::faults::FaultEvent>,
 }
 
 /// One predicate leaf with its column byte offset resolved against the
@@ -201,6 +203,9 @@ pub struct ScanExec {
     ring: Option<(std::collections::VecDeque<PageId>, usize)>,
     /// Pending wrap notification (phase 1 just ended).
     needs_wrap: bool,
+    /// The scan died to a fault: it is `finished()` with a partial
+    /// answer, and was evicted from sharing.
+    aborted: bool,
     /// Aggregation state.
     count: u64,
     sums: Vec<f64>,
@@ -402,6 +407,7 @@ impl ScanExec {
             placement,
             ring,
             needs_wrap: false,
+            aborted: false,
             count: 0,
             sums: vec![0.0; n_sums],
             groups: Vec::new(),
@@ -498,6 +504,69 @@ impl ScanExec {
     /// The manager id of this scan, if shared.
     pub fn scan_id(&self) -> Option<ScanId> {
         self.mgr_scan
+    }
+
+    /// Whether the scan died to a fault (its result is partial).
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Attribute fault events the world observed during this scan's I/O
+    /// (including transient faults a retry absorbed) to the manager's
+    /// decision log.
+    fn report_faults(&mut self, world: &mut ExecWorld<'_>, now: SimTime) {
+        if !world.faults_enabled() {
+            return;
+        }
+        let events = &mut self.scratch.faults;
+        events.clear();
+        world.take_fault_events(events);
+        if let (Some(id), Some(mgr)) = (self.mgr_scan, world.mgr.clone()) {
+            for e in events.iter() {
+                mgr.note_fault(id, now, e.device, e.addr, e.transient, e.attempt);
+            }
+        }
+    }
+
+    /// Graceful degradation: the extent read died for good. Evict the
+    /// scan from sharing (its group re-forms and any throttle it
+    /// justified is lifted), count the abort, and finish the scan early
+    /// with its partial answer — the run keeps going.
+    fn abort_on_fault(
+        &mut self,
+        world: &mut ExecWorld<'_>,
+        now: SimTime,
+        device: u32,
+        addr: u64,
+        transient: bool,
+    ) {
+        let kind = if transient {
+            "exhausted retries on a transient"
+        } else {
+            "permanent"
+        };
+        let reason = format!("{kind} read fault on device {device} at page {addr}");
+        if let (Some(id), Some(mgr)) = (self.mgr_scan.take(), world.mgr.clone()) {
+            mgr.evict_scan(id, now, &reason);
+            if let Some(tr) = &world.tracer {
+                tr.record(now, crate::trace::TraceEvent::ScanFinished { scan: id });
+            }
+        }
+        world.note_scan_aborted();
+        self.aborted = true;
+        // Mark the plan consumed so `finished()` holds and the stream
+        // moves on.
+        match &mut self.plan {
+            Plan::Table {
+                num_pages, visited, ..
+            } => *visited = *num_pages,
+            Plan::Index {
+                entries, visited, ..
+            }
+            | Plan::Rid {
+                entries, visited, ..
+            } => *visited = entries.len(),
+        }
     }
 
     /// How placement started this scan (for tracing).
@@ -675,8 +744,22 @@ impl ScanExec {
             self.needs_wrap = false;
         }
 
-        // I/O.
-        let fetch = world.fetch_extent(now, &self.scratch.ids, &mut self.scratch.pages)?;
+        // I/O. Under a fault plan the fetch can fail for good (permanent
+        // fault or exhausted retries): that aborts this scan, not the run.
+        let fetched = world.fetch_extent(now, &self.scratch.ids, &mut self.scratch.pages);
+        self.report_faults(world, now);
+        let fetch = match fetched {
+            Ok(f) => f,
+            Err(StorageError::ReadFault {
+                device,
+                addr,
+                transient,
+            }) => {
+                self.abort_on_fault(world, now, device, addr, transient);
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.metrics.io_wait += fetch.ready.since(now);
         self.metrics.logical_reads += self.scratch.ids.len() as u64;
         self.metrics.physical_reads += fetch.misses;

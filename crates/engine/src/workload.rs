@@ -21,6 +21,7 @@ use crate::cost::EngineConfig;
 use crate::db::Database;
 use crate::error::EngineResult;
 use crate::exec::ExecWorld;
+use crate::faults::FaultsConfig;
 use crate::metrics::{QueryRecord, RunReport};
 use crate::query::{Query, QueryResult};
 use crate::scan_exec::{ScanExec, ScanMetrics};
@@ -59,6 +60,11 @@ pub struct WorkloadSpec {
     pub engine: EngineConfig,
     /// Base or scan-sharing.
     pub mode: SharingMode,
+    /// Fault injection: storage-layer plan plus engine retry policy.
+    /// Defaults to no faults, which leaves the run (and its report
+    /// bytes) identical to a spec without this section.
+    #[serde(default)]
+    pub faults: FaultsConfig,
 }
 
 /// Progress of one stream through its queries.
@@ -275,6 +281,9 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
     let pool = BufferPool::new(PoolConfig::new(spec.pool_pages, policy));
     let mut world = ExecWorld::new(db.store(), pool, spec.engine.clone(), mgr.clone());
     world.tracer = hooks.tracer;
+    if !spec.faults.is_empty() {
+        world.enable_faults(&spec.faults);
+    }
 
     let mut tasks: Vec<StreamTask<'_>> = spec
         .streams
@@ -332,6 +341,24 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
     queries.sort_by_key(|q| (q.end, q.stream));
 
     let breakdown = world.breakdown(makespan.since(SimTime::ZERO));
+    // When fault injection was armed, mirror its counters into the
+    // registry so they land in the snapshot alongside everything else.
+    // Fault-free runs register nothing, keeping their snapshot (and
+    // report bytes) untouched.
+    let faults = world.fault_summary().unwrap_or_default();
+    if world.faults_enabled() {
+        let reg = &world.metrics;
+        reg.counter("faults.transient_errors")
+            .add(faults.transient_errors);
+        reg.counter("faults.permanent_errors")
+            .add(faults.permanent_errors);
+        reg.counter("faults.delays_injected")
+            .add(faults.delays_injected);
+        reg.counter("faults.retries").add(faults.retries);
+        reg.counter("faults.timeouts").add(faults.timeouts);
+        reg.counter("faults.scans_aborted")
+            .add(faults.scans_aborted);
+    }
     let trace = world
         .tracer
         .as_ref()
@@ -355,6 +382,7 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
             .and_then(|m| m.decision_log())
             .map(|d| d.records())
             .unwrap_or_default(),
+        faults,
     })
 }
 
@@ -472,6 +500,7 @@ mod tests {
             pool_pages: (db.total_table_pages() / 20).max(64) as usize, // 5%
             engine: EngineConfig::default(),
             mode,
+            faults: Default::default(),
         }
     }
 
@@ -567,6 +596,7 @@ mod tests {
             pool_pages: 64,
             engine: EngineConfig::default(),
             mode,
+            faults: Default::default(),
         };
         let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -657,6 +687,7 @@ mod tests {
             pool_pages: 256,
             engine: EngineConfig::default(),
             mode,
+            faults: Default::default(),
         };
         let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -900,6 +931,137 @@ mod tests {
             .any(|f| !f.probe.as_ref().unwrap().scans.is_empty()));
         // Residency never exceeds capacity and pages carry priorities.
         assert!(frames.iter().any(|f| !f.resident.is_empty()));
+    }
+
+    fn fault_plan(seed: u64, rules: Vec<scanshare_storage::FaultRule>) -> FaultsConfig {
+        FaultsConfig {
+            plan: scanshare_storage::FaultPlan { seed, rules },
+            ..FaultsConfig::default()
+        }
+    }
+
+    #[test]
+    fn transient_fault_plan_preserves_answers_and_counts_retries() {
+        use scanshare_storage::{FaultKind, FaultRule};
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let clean = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let mut faulty = clean.clone();
+        faulty.faults = fault_plan(
+            7,
+            vec![FaultRule {
+                device: None,
+                pages: None,
+                from_us: 0,
+                until_us: None,
+                fault: FaultKind::TransientError { probability: 0.01 },
+            }],
+        );
+        let r0 = run_workload(&db, &clean).unwrap();
+        let r = run_workload(&db, &faulty).unwrap();
+        // Every retry absorbed its transient error: answers unchanged,
+        // nothing aborted, and the delays only cost time.
+        assert_eq!(r.queries.len(), r0.queries.len());
+        for (a, b) in r0.queries.iter().zip(&r.queries) {
+            assert_eq!(a.result.count, b.result.count);
+        }
+        assert!(
+            r.faults.transient_errors > 0,
+            "plan never fired: {:?}",
+            r.faults
+        );
+        assert_eq!(r.faults.retries, r.faults.transient_errors);
+        assert_eq!(r.faults.scans_aborted, 0);
+        assert!(r.makespan >= r0.makespan);
+        // The counters rode into the metrics snapshot.
+        assert_eq!(r.metrics.counter("faults.retries"), Some(r.faults.retries));
+        // The fault-free run registered none of them.
+        assert_eq!(r0.metrics.counter("faults.retries"), None);
+        assert!(r0.faults.is_empty());
+    }
+
+    #[test]
+    fn permanent_fault_degrades_the_run_instead_of_failing_it() {
+        use scanshare::DecisionEvent;
+        use scanshare_storage::{FaultKind, FaultRule};
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let mut spec = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        // The device dies for good 100 virtual ms in: scans that already
+        // grouped keep running on pool hits, then abort one by one as
+        // they need fresh pages.
+        spec.faults = fault_plan(
+            0,
+            vec![FaultRule {
+                device: None,
+                pages: None,
+                from_us: 100_000,
+                until_us: None,
+                fault: FaultKind::PermanentError,
+            }],
+        );
+        let r = run_workload(&db, &spec).unwrap();
+        // The run completed and every query record exists, with partial
+        // answers for the aborted scans.
+        assert_eq!(r.queries.len(), 3);
+        assert!(
+            r.faults.scans_aborted > 0,
+            "nothing aborted: {:?}",
+            r.faults
+        );
+        assert!(r.faults.permanent_errors >= r.faults.scans_aborted);
+        assert_eq!(
+            r.metrics.counter("faults.scans_aborted"),
+            Some(r.faults.scans_aborted)
+        );
+        // Provenance narrates the degradation: the injected faults, the
+        // group evictions, and the degraded-mode transitions.
+        let has =
+            |pred: &dyn Fn(&DecisionEvent) -> bool| r.decisions.iter().any(|d| pred(&d.event));
+        assert!(has(&|e| matches!(
+            e,
+            DecisionEvent::FaultInjected {
+                transient: false,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(e, DecisionEvent::ScanEvicted { .. })));
+        assert!(has(&|e| matches!(e, DecisionEvent::DegradedMode { .. })));
+        // Eviction reasons carry the failing device and page.
+        assert!(r.decisions.iter().any(|d| matches!(
+            &d.event,
+            DecisionEvent::ScanEvicted { reason, .. } if reason.contains("permanent read fault")
+        )));
+    }
+
+    #[test]
+    fn empty_fault_section_is_byte_identical_to_no_section() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 5);
+        let clean = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let mut armed = clean.clone();
+        armed.faults = FaultsConfig::default();
+        let a = run_workload(&db, &clean).unwrap();
+        let b = run_workload(&db, &armed).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "an empty fault plan must not perturb the report"
+        );
+        // And the report JSON carries no faults section at all.
+        assert!(!serde_json::to_string(&a).unwrap().contains("\"faults\""));
     }
 
     #[test]

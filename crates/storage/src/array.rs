@@ -9,8 +9,10 @@
 //! disk used by the calibrated headline experiments.
 
 use crate::disk::{Disk, DiskConfig, DiskStats, ReadCompletion};
+use crate::error::{StorageError, StorageResult};
+use crate::fault::{FaultInjector, FaultOutcome};
 use crate::series::TimeSeries;
-use crate::sim::SimTime;
+use crate::sim::{SimDuration, SimTime};
 
 /// A striped array of identical disks.
 #[derive(Debug)]
@@ -73,6 +75,65 @@ impl DiskArray {
             done,
             seeked,
         }
+    }
+
+    /// [`DiskArray::read`] under a fault plan: every stripe-sized piece is
+    /// submitted to the injector before being issued, keyed by the device
+    /// it routes to and the piece's first physical page.
+    ///
+    /// An injected error fails the whole request with
+    /// [`StorageError::ReadFault`]. Pieces issued before the faulting one
+    /// have already been serviced — the device did the work, the requester
+    /// just cannot use the data — which matches how a multi-extent request
+    /// dies halfway on real hardware. Injected delays inflate the faulted
+    /// piece's service time on its device, delaying everything queued
+    /// behind it.
+    pub fn read_faulted(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        npages: u32,
+        injector: &mut FaultInjector,
+    ) -> StorageResult<ReadCompletion> {
+        assert!(npages > 0, "read of zero pages");
+        let mut start = now;
+        let mut done = now;
+        let mut seeked = false;
+        let mut at = addr;
+        let mut left = npages as u64;
+        let mut first = true;
+        while left > 0 {
+            let stripe_end = (at / self.stripe_pages + 1) * self.stripe_pages;
+            let chunk = left.min(stripe_end - at) as u32;
+            let d = self.disk_of(at);
+            let extra = match injector.check(now, d as u32, at) {
+                FaultOutcome::None => SimDuration::ZERO,
+                FaultOutcome::Delay(extra) => extra,
+                FaultOutcome::Error { transient } => {
+                    return Err(StorageError::ReadFault {
+                        device: d as u32,
+                        addr: at,
+                        transient,
+                    });
+                }
+            };
+            let c = self.disks[d].read_with_extra(now, at, chunk, extra);
+            if first {
+                start = c.start;
+                first = false;
+            } else {
+                start = start.min(c.start);
+            }
+            done = done.max(c.done);
+            seeked |= c.seeked;
+            at += chunk as u64;
+            left -= chunk as u64;
+        }
+        Ok(ReadCompletion {
+            start,
+            done,
+            seeked,
+        })
     }
 
     /// Aggregate counters over all disks.
@@ -193,6 +254,87 @@ mod tests {
         // Parallelism: total busy is 8 requests' service, but wall-clock
         // completion is only 2 requests deep.
         assert_eq!(a.free_at().as_micros(), 2 * 1000 + 2 * 1600);
+    }
+
+    #[test]
+    fn faulted_read_with_empty_plan_matches_plain_read() {
+        use crate::fault::FaultPlan;
+        let mut plain = array(2);
+        let mut faulted = array(2);
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        for (i, npages) in [(0u64, 16u32), (8, 16), (40, 4)] {
+            let a = plain.read(SimTime::from_micros(i * 100), i, npages);
+            let b = faulted
+                .read_faulted(SimTime::from_micros(i * 100), i, npages, &mut inj)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", faulted.stats())
+        );
+    }
+
+    #[test]
+    fn faulted_read_targets_the_routed_device() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule};
+        // Stripe 1 (pages 16..32) routes to disk 1; kill that device.
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                device: Some(1),
+                pages: None,
+                from_us: 0,
+                until_us: None,
+                fault: FaultKind::PermanentError,
+            }],
+        };
+        let mut a = array(2);
+        let mut inj = FaultInjector::new(plan);
+        // Disk 0 is healthy.
+        a.read_faulted(SimTime::ZERO, 0, 16, &mut inj).unwrap();
+        // Disk 1 is dead.
+        let err = a.read_faulted(SimTime::ZERO, 16, 16, &mut inj).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ReadFault {
+                device: 1,
+                addr: 16,
+                transient: false
+            }
+        );
+        // A straddling request dies on the second piece, after disk 0
+        // already serviced the first.
+        let before = a.stats().requests;
+        let err = a.read_faulted(SimTime::ZERO, 8, 16, &mut inj).unwrap_err();
+        assert!(matches!(err, StorageError::ReadFault { device: 1, .. }));
+        assert_eq!(a.stats().requests, before + 1);
+    }
+
+    #[test]
+    fn injected_stall_delays_the_device_queue() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                device: None,
+                pages: Some((0, 1)),
+                from_us: 0,
+                until_us: None,
+                fault: FaultKind::Stall {
+                    probability: 1.0,
+                    for_us: 10_000,
+                },
+            }],
+        };
+        let mut a = array(1);
+        let mut inj = FaultInjector::new(plan);
+        let c1 = a.read_faulted(SimTime::ZERO, 0, 1, &mut inj).unwrap();
+        assert_eq!(c1.done.as_micros(), 1000 + 100 + 10_000);
+        // Out-of-range page: no stall, but it queues behind the stalled one.
+        let c2 = a.read_faulted(SimTime::ZERO, 5, 1, &mut inj).unwrap();
+        assert_eq!(c2.start, c1.done);
+        assert_eq!(inj.stats().delays, 1);
     }
 
     #[test]

@@ -113,10 +113,24 @@ impl Disk {
     /// Service a read of `npages` physically contiguous pages starting at
     /// physical address `addr`, issued at time `now`.
     pub fn read(&mut self, now: SimTime, addr: u64, npages: u32) -> ReadCompletion {
+        self.read_with_extra(now, addr, npages, SimDuration::ZERO)
+    }
+
+    /// Like [`Disk::read`], but with `extra` added to the service time —
+    /// the fault injector's hook for latency spikes and device stalls.
+    /// The inflated service delays everything queued behind the request
+    /// (`free_at` moves), exactly like a real slow-path sector.
+    pub fn read_with_extra(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        npages: u32,
+        extra: SimDuration,
+    ) -> ReadCompletion {
         assert!(npages > 0, "read of zero pages");
         let start = now.max(self.free_at);
         let seeked = self.head != Some(addr);
-        let mut service = self.cfg.transfer_per_page.times(npages as u64);
+        let mut service = self.cfg.transfer_per_page.times(npages as u64) + extra;
         let mut seek_distance = 0u64;
         if seeked {
             service += self.cfg.seek;
@@ -256,6 +270,18 @@ mod tests {
         d.read(SimTime::from_micros(15_000), 0, 1);
         assert_eq!(d.stats().seek_distance_pages, 108);
         assert_eq!(d.seek_distance_series().total(), 108);
+    }
+
+    #[test]
+    fn extra_service_time_delays_queued_requests() {
+        let mut d = disk();
+        // Stalled request: 1000 seek + 100 transfer + 5000 stall.
+        let c1 = d.read_with_extra(SimTime::ZERO, 0, 1, SimDuration::from_micros(5000));
+        assert_eq!(c1.done.as_micros(), 6100);
+        // The next request queues behind the stall, FIFO.
+        let c2 = d.read(SimTime::ZERO, 1, 1);
+        assert_eq!(c2.start, c1.done);
+        assert_eq!(d.stats().busy.as_micros(), 6100 + 100);
     }
 
     #[test]

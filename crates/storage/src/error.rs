@@ -23,6 +23,13 @@ pub enum StorageError {
     PageOverflow { needed: usize, available: usize },
     /// Data on a page failed validation while decoding.
     Corrupt(String),
+    /// A physical read failed, injected by a fault plan. `transient`
+    /// distinguishes retryable errors from dead devices/regions.
+    ReadFault {
+        device: u32,
+        addr: u64,
+        transient: bool,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -44,6 +51,14 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::ReadFault {
+                device,
+                addr,
+                transient,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} read fault on device {device} at page {addr}")
+            }
         }
     }
 }
@@ -66,5 +81,14 @@ mod tests {
         assert_eq!(e.to_string(), "page 1:7 out of bounds (file has 4 pages)");
         let e = StorageError::PoolExhausted { capacity: 8 };
         assert!(e.to_string().contains("all 8 frames pinned"));
+        let e = StorageError::ReadFault {
+            device: 2,
+            addr: 640,
+            transient: true,
+        };
+        assert_eq!(
+            e.to_string(),
+            "transient read fault on device 2 at page 640"
+        );
     }
 }

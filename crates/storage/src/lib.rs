@@ -27,6 +27,7 @@
 pub mod array;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod page;
 pub mod pool;
 #[cfg(test)]
@@ -39,6 +40,7 @@ pub mod volume;
 pub use array::DiskArray;
 pub use disk::{Disk, DiskConfig, DiskStats, ReadCompletion};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule, FaultStats};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use pool::{
     BufferPool, FixOutcome, PagePriority, PoolConfig, PoolStats, ReplacementPolicy, ResidentPage,

@@ -353,4 +353,171 @@ mod equivalence {
             }
         }
     }
+
+    /// Same randomized schedule, but a seeded fault injector aborts a
+    /// quarter of the miss completions — modeling the engine's new read
+    /// error path, where a faulted physical read means `complete_miss`
+    /// is never called for the page. Both pools must stay equivalent
+    /// through every abandoned miss: same victims, same residency, same
+    /// stats.
+    fn drive_with_read_faults(policy: ReplacementPolicy, seed: u64) {
+        use crate::fault::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule};
+        use crate::sim::SimTime;
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed,
+            rules: vec![FaultRule {
+                device: None,
+                pages: None,
+                from_us: 0,
+                until_us: None,
+                fault: FaultKind::TransientError { probability: 0.25 },
+            }],
+        });
+        let mut fast = BufferPool::new(PoolConfig::new(CAPACITY, policy));
+        let mut oracle = LegacyPool::new(PoolConfig::new(CAPACITY, policy));
+        let mut rng = Rng::seed_from_u64(seed ^ 0xfa17);
+        let mut pinned: Vec<PageId> = Vec::new();
+        let mut aborted = 0u64;
+
+        for step in 0..STEPS {
+            let roll = rng.next_u64() % 100;
+            if (roll < 70 && pinned.len() < CAPACITY - 2) || pinned.is_empty() {
+                let id = pid(rng.next_u64() % UNIVERSE);
+                let a = fast.fix(id);
+                let b = oracle.fix(id);
+                assert_eq!(
+                    matches!(a, FixOutcome::Hit(_)),
+                    matches!(b, FixOutcome::Hit(_)),
+                    "{policy:?} seed {seed} step {step}: fix({id:?}) outcome diverged"
+                );
+                let mut holds_pin = matches!(a, FixOutcome::Hit(_));
+                if matches!(a, FixOutcome::Miss) {
+                    let now = SimTime::from_micros(step as u64);
+                    if matches!(
+                        inj.check(now, 0, id.page as u64),
+                        FaultOutcome::Error { .. }
+                    ) {
+                        // The read failed: neither pool installs the page.
+                        aborted += 1;
+                    } else {
+                        fast.complete_miss(id, buf(id.page as u64)).unwrap();
+                        oracle.complete_miss(id, buf(id.page as u64)).unwrap();
+                        holds_pin = true;
+                    }
+                }
+                if holds_pin {
+                    if rng.next_u64() % 10 < 7 {
+                        let prio = priority(rng.next_u64());
+                        fast.release(id, prio).unwrap();
+                        oracle.release(id, prio).unwrap();
+                    } else {
+                        pinned.push(id);
+                    }
+                }
+            } else if roll < 90 && !pinned.is_empty() {
+                let idx = (rng.next_u64() as usize) % pinned.len();
+                let id = pinned.swap_remove(idx);
+                let prio = priority(rng.next_u64());
+                fast.release(id, prio).unwrap();
+                oracle.release(id, prio).unwrap();
+            } else {
+                let id = pid(rng.next_u64() % UNIVERSE);
+                fast.discard(id);
+                oracle.discard(id);
+            }
+            assert_eq!(
+                fast.next_victim(),
+                oracle.next_victim(),
+                "{policy:?} seed {seed} step {step}: next victim diverged"
+            );
+            assert_eq!(fast.len(), oracle.len());
+        }
+        assert!(aborted > 0, "{policy:?} seed {seed}: plan never fired");
+        assert_eq!(fast.resident_pages(), oracle.resident_pages());
+        assert_eq!(
+            format!("{:?}", fast.stats()),
+            format!("{:?}", oracle.stats()),
+            "{policy:?} seed {seed}: final stats diverged"
+        );
+    }
+
+    #[test]
+    fn pools_stay_equivalent_when_miss_completions_fault() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::PriorityLru,
+            ReplacementPolicy::Lru2,
+        ] {
+            for seed in [3, 11, 0xFA017] {
+                drive_with_read_faults(policy, seed);
+            }
+        }
+    }
+
+    /// Zero-capacity pools are a configuration bug, and both
+    /// implementations must reject them the same way: loudly, at
+    /// construction, before any page traffic can hit them.
+    #[test]
+    fn zero_capacity_is_rejected_identically_by_both_pools() {
+        let fast = std::panic::catch_unwind(|| {
+            BufferPool::new(PoolConfig::new(0, ReplacementPolicy::Lru))
+        });
+        let oracle = std::panic::catch_unwind(|| {
+            LegacyPool::new(PoolConfig::new(0, ReplacementPolicy::Lru))
+        });
+        assert!(fast.is_err(), "frame-table pool accepted capacity 0");
+        assert!(oracle.is_err(), "legacy pool accepted capacity 0");
+    }
+
+    /// With every frame pinned, both pools report the same exhaustion:
+    /// no victim candidate, `PoolExhausted` from `complete_miss`, and an
+    /// identical recovery once a single pin is dropped.
+    #[test]
+    fn fully_pinned_pools_exhaust_and_recover_identically() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::PriorityLru,
+            ReplacementPolicy::Lru2,
+        ] {
+            let cap = 4;
+            let mut fast = BufferPool::new(PoolConfig::new(cap, policy));
+            let mut oracle = LegacyPool::new(PoolConfig::new(cap, policy));
+            for p in 0..cap as u64 {
+                let id = pid(p);
+                assert!(matches!(fast.fix(id), FixOutcome::Miss));
+                assert!(matches!(oracle.fix(id), FixOutcome::Miss));
+                fast.complete_miss(id, buf(p)).unwrap();
+                oracle.complete_miss(id, buf(p)).unwrap();
+            }
+            assert_eq!(fast.next_victim(), None);
+            assert_eq!(oracle.next_victim(), None);
+
+            let extra = pid(99);
+            assert!(matches!(fast.fix(extra), FixOutcome::Miss));
+            assert!(matches!(oracle.fix(extra), FixOutcome::Miss));
+            let ea = fast.complete_miss(extra, buf(99)).unwrap_err();
+            let eb = oracle.complete_miss(extra, buf(99)).unwrap_err();
+            assert!(
+                same_error(&ea, &eb),
+                "{policy:?}: exhaustion errors diverged: {ea:?} vs {eb:?}"
+            );
+            assert!(matches!(ea, StorageError::PoolExhausted { capacity: 4 }));
+
+            // One release frees exactly one victim slot in both pools.
+            fast.release(pid(2), PagePriority::Normal).unwrap();
+            oracle.release(pid(2), PagePriority::Normal).unwrap();
+            assert_eq!(fast.next_victim(), oracle.next_victim());
+            assert!(matches!(fast.fix(extra), FixOutcome::Miss));
+            assert!(matches!(oracle.fix(extra), FixOutcome::Miss));
+            fast.complete_miss(extra, buf(99)).unwrap();
+            oracle.complete_miss(extra, buf(99)).unwrap();
+            assert_eq!(fast.next_victim(), oracle.next_victim());
+            assert_eq!(fast.resident_pages(), oracle.resident_pages());
+            assert_eq!(
+                format!("{:?}", fast.stats()),
+                format!("{:?}", oracle.stats()),
+                "{policy:?}: stats diverged after recovery"
+            );
+        }
+    }
 }

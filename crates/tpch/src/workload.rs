@@ -30,6 +30,7 @@ pub fn staggered_workload(
         pool_pages: paper_pool_pages(db),
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     }
 }
 
@@ -53,6 +54,7 @@ pub fn throughput_workload(
         pool_pages: paper_pool_pages(db),
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     }
 }
 

@@ -57,6 +57,7 @@ fn main() {
         pool_pages: 64,
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");

@@ -72,6 +72,7 @@ fn main() {
         pool_pages: paper_pool_pages(&db),
         engine: Default::default(),
         mode,
+        faults: Default::default(),
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");

@@ -10,6 +10,11 @@
 #   scripts/bench_gate.sh path/to/other.json # gate against another baseline
 #   scripts/bench_gate.sh --rebaseline       # intentionally re-pin the baseline
 #
+# Extra arguments after the baseline are forwarded to the gate binary,
+# e.g. a fault plan for the robustness matrix:
+#   scripts/bench_gate.sh results/baseline_smoke.json \
+#       --faults results/fault_plans/transient_1pct.json
+#
 # Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,5 +32,6 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
+shift || true
 exec cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
-    --gate "$BASELINE"
+    --gate "$BASELINE" "$@"

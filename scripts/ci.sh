@@ -17,4 +17,22 @@ cargo test --offline --workspace -q
 echo "== perf-regression gate (smoke baseline) =="
 scripts/bench_gate.sh results/baseline_smoke.json
 
+echo "== fault-matrix smoke (empty plan must be a no-op) =="
+# The fault-injection layer must be pay-for-what-you-use: gating the
+# smoke pair under the canned *empty* plan has to reproduce the
+# baseline exactly — all 8 gated metrics at 0.00% delta, not merely
+# within tolerance.
+fault_out=$(cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke.json --faults results/fault_plans/empty.json)
+echo "$fault_out"
+zero_deltas=$(echo "$fault_out" | grep -c ' 0\.00% ' || true)
+if [ "$zero_deltas" -ne 8 ]; then
+    echo "FAIL: empty fault plan perturbed the smoke run ($zero_deltas/8 metrics at 0.00% delta)"
+    exit 1
+fi
+# And the transient plan must leave the gate green (sharing benefit and
+# answer-preserving retries survive a 1% injected error rate).
+cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke.json --faults results/fault_plans/transient_1pct.json
+
 echo "CI green."

@@ -50,6 +50,7 @@ fn ordered_scans_never_join() {
         pool_pages: 128,
         engine: EngineConfig::default(),
         mode: SharingMode::ScanSharing(SharingConfig::new(0)),
+        faults: Default::default(),
     };
     let r = run_workload(&db, &w).unwrap();
     // The manager never even saw the scans.
@@ -80,6 +81,7 @@ fn attach_baseline_trails_full_sharing_on_mixed_speeds() {
         pool_pages: 128,
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     };
     let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
     let attach = run_workload(
@@ -127,6 +129,7 @@ fn dynamic_fairness_throttles_high_priority_queries_less() {
                 dynamic_fairness: true,
                 ..SharingConfig::new(0)
             }),
+            faults: Default::default(),
         };
         let r = run_workload(&db, &w).unwrap();
         r.queries
@@ -289,6 +292,7 @@ fn rid_scans_share_end_to_end() {
         pool_pages: 64,
         engine: EngineConfig::default(),
         mode,
+        faults: Default::default(),
     };
     let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
     let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();

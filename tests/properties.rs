@@ -73,6 +73,7 @@ fn sharing_is_answer_preserving_and_io_monotone() {
             pool_pages: 64,
             engine: EngineConfig::default(),
             mode,
+            faults: Default::default(),
         };
         let base = run_workload(&db, &spec(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &spec(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -92,6 +93,82 @@ fn sharing_is_answer_preserving_and_io_monotone() {
             ss.disk.pages_read,
             base.disk.pages_read
         );
+    }
+}
+
+/// For any seeded transient-fault plan, retries mask every injected
+/// error (answers match a clean run), and repeat runs of the identical
+/// (seed, plan) pair are byte-identical end to end — fault draws,
+/// retry/backoff accounting, and the decision log included.
+#[test]
+fn fault_injection_is_deterministic_and_answer_preserving() {
+    use scanshare_repro::engine::FaultsConfig;
+    use scanshare_repro::storage::{FaultKind, FaultPlan, FaultRule};
+    let db = small_db(12, 30_000);
+    for case in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(0x0fa0_1700 + case);
+        let n = rng.random_range(2..5usize);
+        let streams: Vec<Stream> = (0..n)
+            .map(|i| {
+                let (a, b) = (rng.random_range(0i64..12), rng.random_range(0i64..12));
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                Stream {
+                    queries: vec![index_query(&format!("q{i}"), lo, hi)],
+                    start_offset: SimDuration::from_millis(rng.random_range(0u64..400)),
+                }
+            })
+            .collect();
+        let plan = FaultPlan {
+            seed: rng.random_range(0u64..1 << 32),
+            rules: vec![FaultRule {
+                device: None,
+                pages: None,
+                from_us: 0,
+                until_us: None,
+                fault: FaultKind::TransientError {
+                    probability: rng.random_range(0.0f64..0.04),
+                },
+            }],
+        };
+        let spec = |faults| WorkloadSpec {
+            streams: streams.clone(),
+            pool_pages: 64,
+            engine: EngineConfig::default(),
+            mode: SharingMode::ScanSharing(SharingConfig::new(0)),
+            faults,
+        };
+        let clean = run_workload(&db, &spec(FaultsConfig::default())).unwrap();
+        let cfg = FaultsConfig {
+            plan,
+            ..FaultsConfig::default()
+        };
+        let a = run_workload(&db, &spec(cfg.clone())).unwrap();
+        let b = run_workload(&db, &spec(cfg)).unwrap();
+
+        // Same seed, same plan: bit-for-bit the same report, decisions
+        // and fault counters included.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "case {case}: repeat faulted runs diverged"
+        );
+        // Transient faults never change answers — every error retried.
+        assert_eq!(a.faults.scans_aborted, 0, "case {case}");
+        assert_eq!(
+            a.faults.retries, a.faults.transient_errors,
+            "case {case}: every transient error costs exactly one retry"
+        );
+        let mut qc = clean.queries.clone();
+        let mut qf = a.queries.clone();
+        qc.sort_by_key(|q| q.name.clone());
+        qf.sort_by_key(|q| q.name.clone());
+        assert_eq!(qc.len(), qf.len(), "case {case}");
+        for (c, f) in qc.iter().zip(&qf) {
+            assert_eq!(
+                c.result, f.result,
+                "case {case}: answers must survive faults"
+            );
+        }
     }
 }
 
