@@ -1,6 +1,6 @@
 //! A8: QPipe-style attach vs the paper's placement + throttling.
 //!
-//! Related work [19] (Harizopoulos et al.) shares scans by letting new
+//! Related work \[19\] (Harizopoulos et al.) shares scans by letting new
 //! operators *attach* to an ongoing scan's page stream. The paper's
 //! critique: "while this approach works well for scans with similar
 //! speeds, in practice scan speeds can vary by large margins … the

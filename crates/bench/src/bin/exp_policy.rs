@@ -1,0 +1,149 @@
+//! A4: sharing-policy ablation — grouping vs attach vs elevator.
+//!
+//! The paper's mechanism is the *grouping* policy: group-aware
+//! placement plus throttling and page priorities. This experiment pits
+//! it against the two classic alternatives it improves on, re-expressed
+//! inside the same simulator:
+//!
+//! * **attach** — a new scan simply jumps to the newest compatible
+//!   scan's position (shared-cursor attach, no feedback loops);
+//! * **elevator** — one circulating read cursor per table; scans attach
+//!   at the cursor and wrap around.
+//!
+//! Two workloads run under all three policies: the pinned CI smoke
+//! workload (3 streams, tiny scale — the same spec `bench_gate` pins)
+//! and the 5-stream TPC-H throughput workload at the experiment scale.
+//! For each run the table reports pages read, buffer-pool hit ratio,
+//! and the worst per-query *stretch* (slowest query's time relative to
+//! the no-sharing base run — the fairness axis the grouping policy's
+//! throttle cap is designed to bound).
+//!
+//! `--smoke` runs only the tiny workload and skips the JSON dump; CI
+//! uses it as a cheap informational signal without touching the
+//! committed `results/policy_ablation.json` artifact.
+
+use scanshare::{SharingConfig, SharingPolicyKind};
+use scanshare_bench::*;
+use scanshare_engine::{run_workload, run_workloads, Database, RunReport, SharingMode};
+use scanshare_tpch::{throughput_workload, TpchConfig, QUERY_NAMES};
+use serde::Serialize;
+
+const POLICIES: [SharingPolicyKind; 3] = [
+    SharingPolicyKind::Grouping,
+    SharingPolicyKind::Attach,
+    SharingPolicyKind::Elevator,
+];
+
+#[derive(Serialize)]
+struct PolicyRow {
+    workload: String,
+    policy: String,
+    makespan_s: f64,
+    pages_read: u64,
+    hit_ratio_pct: f64,
+    /// Worst per-query stretch: max over queries of this run's average
+    /// query time divided by the base (no sharing) run's. 1.0 = no
+    /// query paid anything for the sharing; higher = some query was
+    /// slowed that much.
+    worst_stretch: f64,
+}
+
+fn worst_stretch(base: &RunReport, run: &RunReport) -> f64 {
+    let mut worst = 1.0f64;
+    for name in QUERY_NAMES {
+        let (Some(b), Some(s)) = (base.avg_query_time(name), run.avg_query_time(name)) else {
+            continue;
+        };
+        let b = b.as_secs_f64();
+        if b > 0.0 {
+            worst = worst.max(s.as_secs_f64() / b);
+        }
+    }
+    worst
+}
+
+/// Run one workload shape under base + all three policies.
+fn ablate(label: &str, db: &Database, streams: usize, months: i64, seed: u64) -> Vec<PolicyRow> {
+    let base_spec = throughput_workload(db, streams, months, seed, SharingMode::Base);
+    eprintln!("[{label}] running base ...");
+    let base = run_workload(db, &base_spec).expect("base run");
+
+    // The three policies are independent simulations; fan them out.
+    let specs: Vec<_> = POLICIES
+        .iter()
+        .map(|&p| {
+            let mode = SharingMode::ScanSharing(SharingConfig::with_policy(0, p));
+            throughput_workload(db, streams, months, seed, mode)
+        })
+        .collect();
+    eprintln!("[{label}] running {} policies ...", POLICIES.len());
+    let reports = run_workloads(db, &specs, sweep_jobs());
+
+    println!("\n== policy ablation: {label} ({streams} streams) ==");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>14}",
+        "policy", "time (s)", "pages read", "hit ratio", "worst stretch"
+    );
+    println!(
+        "{:<10} {:>10.2} {:>12} {:>9.1}% {:>13.2}x",
+        "(base)",
+        base.makespan.as_secs_f64(),
+        base.disk.pages_read,
+        base.pool.hit_ratio() * 100.0,
+        1.0,
+    );
+    let mut rows = Vec::new();
+    for (p, r) in POLICIES.into_iter().zip(reports) {
+        let r = r.expect("policy run");
+        // The report stamps the policy only when it is not the default.
+        assert_eq!(
+            r.policy.unwrap_or_default(),
+            p,
+            "report policy stamp disagrees with the requested policy"
+        );
+        record_metrics(&format!("{label}/{p}"), &r);
+        let stretch = worst_stretch(&base, &r);
+        println!(
+            "{:<10} {:>10.2} {:>12} {:>9.1}% {:>13.2}x",
+            p.as_str(),
+            r.makespan.as_secs_f64(),
+            r.disk.pages_read,
+            r.pool.hit_ratio() * 100.0,
+            stretch,
+        );
+        rows.push(PolicyRow {
+            workload: label.to_string(),
+            policy: p.as_str().to_string(),
+            makespan_s: r.makespan.as_secs_f64(),
+            pages_read: r.disk.pages_read,
+            hit_ratio_pct: r.pool.hit_ratio() * 100.0,
+            worst_stretch: stretch,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let smoke_only = std::env::args().any(|a| a == "--smoke");
+
+    // Smoke workload: exactly the spec bench_gate pins, so these
+    // numbers are directly comparable against the gated baseline.
+    let tiny = TpchConfig::tiny();
+    let smoke_db = build_database(&tiny);
+    let mut rows = ablate("smoke", &smoke_db, 3, tiny.months as i64, tiny.seed);
+
+    if smoke_only {
+        println!("\n(--smoke: skipping the 5-stream workload and the JSON dump)");
+        return;
+    }
+
+    // Full workload: the Table-1-style 5-stream throughput run.
+    let cfg = experiment_config();
+    let db = build_database(&cfg);
+    rows.extend(ablate("throughput", &db, 5, cfg.months as i64, cfg.seed));
+
+    println!("\ngrouping is the paper's policy: placement + throttling + priorities.");
+    println!("attach/elevator share pages opportunistically but never throttle,");
+    println!("so their worst per-query stretch is whatever the overlap dictates.");
+    dump_json("policy_ablation", &rows);
+}

@@ -16,6 +16,7 @@
 //! | `exp_ablation` | A1: placement / throttling / priorities toggles |
 //! | `exp_scope`    | A2: table-scan-only (ICDE) vs +index (VLDB) scope |
 //! | `exp_fairness` | A3: fairness-cap sweep |
+//! | `exp_policy`   | A9: sharing-policy ablation (grouping / attach / elevator) |
 //!
 //! Every binary prints a human-readable table and writes the raw numbers
 //! as JSON under `results/`. Scale via `SCANSHARE_SCALE` (default 1.0)

@@ -27,6 +27,7 @@ fn sorted_by_time(records: &[DecisionRecord]) -> Vec<&DecisionRecord> {
 
 fn kind_name(e: &DecisionEvent) -> &'static str {
     match e {
+        DecisionEvent::PolicyChosen { .. } => "policy",
         DecisionEvent::GroupStart { .. } => "group-start",
         DecisionEvent::GroupJoin { .. } => "group-join",
         DecisionEvent::Throttle { .. } => "throttle",
@@ -120,6 +121,14 @@ fn group_timelines(out: &mut String, records: &[&DecisionRecord]) {
 /// `scan` is given. Errors when the requested scan has no decisions.
 pub fn render_explain(report: &RunReport, scan: Option<u64>) -> Result<String, String> {
     let mut out = String::new();
+    // Reports stamp the policy only when it is not the default grouping
+    // machinery; name it up front so the narrative reads correctly.
+    if let Some(p) = report.policy {
+        let _ = writeln!(
+            out,
+            "run used the non-default '{p}' sharing policy; decisions below follow it\n"
+        );
+    }
     if report.decisions.is_empty() {
         out.push_str(
             "no decisions recorded (base-mode run, or artifact predating decision provenance)\n",
@@ -196,6 +205,7 @@ mod tests {
             trace: vec![],
             decisions,
             faults: Default::default(),
+            policy: None,
         }
     }
 
@@ -286,6 +296,30 @@ mod tests {
         let text = render_explain(&report, None).unwrap();
         assert!(text.contains("no decisions recorded"));
         assert!(render_explain(&report, Some(0)).is_err());
+    }
+
+    #[test]
+    fn non_default_policy_is_named_and_narrated() {
+        let mut log = sample_log();
+        log.insert(
+            0,
+            DecisionRecord {
+                at: SimTime::ZERO,
+                event: DecisionEvent::PolicyChosen {
+                    scan: ScanId(0),
+                    policy: scanshare::SharingPolicyKind::Attach,
+                },
+            },
+        );
+        let mut report = report_with(log);
+        report.policy = Some(scanshare::SharingPolicyKind::Attach);
+        let text = render_explain(&report, None).unwrap();
+        assert!(
+            text.contains("non-default 'attach' sharing policy"),
+            "got: {text}"
+        );
+        assert!(text.contains("policy 'attach' selected"), "got: {text}");
+        assert!(text.contains("policy"), "got: {text}");
     }
 
     #[test]

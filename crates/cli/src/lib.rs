@@ -12,7 +12,7 @@
 //! Argument parsing is hand-rolled (no extra dependencies): flags are
 //! `--name value` pairs validated against each subcommand's schema.
 
-use scanshare::SharingConfig;
+use scanshare::{SharingConfig, SharingPolicyKind};
 use scanshare_engine::{
     run_workload, run_workload_traced, Database, FaultsConfig, RunReport, SharingMode, Tracer,
     WorkloadSpec,
@@ -72,12 +72,14 @@ pub enum Command {
         stagger_frac: f64,
     },
     /// `run --spec FILE [--db FILE] [--faults FILE] [--compare]
-    /// [--report OUT] [--trace-out OUT]`
+    /// [--policy grouping|attach|elevator] [--report OUT]
+    /// [--trace-out OUT]`
     Run {
         spec: String,
         db: Option<String>,
         faults: Option<String>,
         compare: bool,
+        policy: Option<SharingPolicyKind>,
         outputs: RunOutputs,
     },
     /// `trace --artifact FILE`: replay a saved report's event log.
@@ -135,8 +137,7 @@ impl RunOutputs {
 
     fn save(&self, r: &RunReport) -> Result<(), String> {
         if let Some(path) = &self.report {
-            let json = serde_json::to_string_pretty(r).map_err(|e| e.to_string())?;
-            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            scanshare_engine::persist::save_report(r, path)?;
             eprintln!("report saved to {path}");
         }
         if let Some(path) = &self.trace {
@@ -213,6 +214,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 db: flag_value(args, "--db").map(String::from),
                 faults: flag_value(args, "--faults").map(String::from),
                 compare: args.iter().any(|a| a == "--compare"),
+                policy: match flag_value(args, "--policy") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(UsageError)?),
+                },
                 outputs: RunOutputs {
                     report: flag_value(args, "--report").map(String::from),
                     trace: flag_value(args, "--trace-out").map(String::from),
@@ -281,11 +286,19 @@ USAGE:
                       [--stagger-frac F]
       Staggered single-query run (Figure 15/16 setup).
   scanshare run --spec FILE [--db FILE] [--faults FILE] [--compare]
+                [--policy grouping|attach|elevator]
                 [--report OUT] [--trace-out OUT]
-      Execute a JSON RunSpec; --compare forces base vs scan-sharing;
+      Execute a JSON RunSpec. The spec's workload section may carry an
+      optional \"faults\" subsection (a FaultsConfig: seeded fault plan
+      plus retry/timeout policy) — `scanshare spec-template` shows the
+      shape. --compare forces base vs scan-sharing;
       --db loads a previously generated database instead of regenerating;
-      --faults overrides the spec's fault-injection section with a
-      FaultsConfig JSON (seeded fault plan + retry/timeout policy);
+      --faults overrides the spec's \"faults\" subsection with a
+      FaultsConfig JSON file;
+      --policy selects the scan-sharing policy: grouping (default; the
+      paper's grouping + throttling machinery), attach (join the newest
+      compatible scan, never throttle), or elevator (one circulating
+      read cursor per table);
       --report saves the full RunReport (metrics + trace) as JSON and
       --trace-out saves the event log alone as JSON-lines.
       Exits 0 on success, 1 on engine failure, 2 on bad input, and 3
@@ -434,6 +447,7 @@ pub fn execute(cmd: Command) -> i32 {
             db,
             faults,
             compare,
+            policy,
             outputs,
         } => {
             let text = match std::fs::read_to_string(&spec) {
@@ -446,10 +460,22 @@ pub fn execute(cmd: Command) -> i32 {
             let mut parsed: RunSpec = match serde_json::from_str(&text) {
                 Ok(p) => p,
                 Err(e) => {
-                    eprintln!("invalid spec {spec}: {e}");
+                    eprintln!("{}", spec_error(&spec, e));
                     return 2;
                 }
             };
+            if let Some(p) = policy {
+                match &mut parsed.workload.mode {
+                    SharingMode::ScanSharing(cfg) => cfg.policy = p,
+                    SharingMode::Base | SharingMode::BasePolicy(_) if !compare => {
+                        eprintln!(
+                            "note: --policy {p} has no effect on a base-mode spec \
+                             (add --compare or set the spec's mode to ScanSharing)"
+                        );
+                    }
+                    SharingMode::Base | SharingMode::BasePolicy(_) => {}
+                }
+            }
             if let Some(path) = faults {
                 match load_fault_config(&path) {
                     Ok(cfg) => parsed.workload.faults = cfg,
@@ -469,7 +495,7 @@ pub fn execute(cmd: Command) -> i32 {
                 },
                 None => generate(&parsed.tpch),
             };
-            run_maybe_compare_with(&database, &parsed.workload, compare, &outputs)
+            run_maybe_compare_with(&database, &parsed.workload, compare, policy, &outputs)
         }
         Command::Bench {
             streams,
@@ -527,7 +553,7 @@ pub fn execute(cmd: Command) -> i32 {
             let parsed: RunSpec = match serde_json::from_str(&text) {
                 Ok(p) => p,
                 Err(e) => {
-                    eprintln!("invalid spec {spec}: {e}");
+                    eprintln!("{}", spec_error(&spec, e));
                     return 2;
                 }
             };
@@ -583,6 +609,19 @@ pub fn execute(cmd: Command) -> i32 {
     }
 }
 
+/// Diagnostic for an unparsable `RunSpec` file. Besides the parser's own
+/// message, it reminds the user of the spec shape — including the
+/// optional `faults` fault-injection subsection, which predates some
+/// hand-written specs and is the most common omission-then-typo site.
+pub fn spec_error(path: &str, e: impl std::fmt::Display) -> String {
+    format!(
+        "invalid spec {path}: {e}\n\
+         hint: a RunSpec is {{\"tpch\": ..., \"workload\": ...}}; the workload \
+         accepts an optional \"faults\" section (seeded fault plan + \
+         retry/timeout policy) — start from `scanshare spec-template`"
+    )
+}
+
 /// Load a fault-injection plan (`FaultsConfig` JSON) for `run --faults`.
 pub fn load_fault_config(path: &str) -> Result<FaultsConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -591,8 +630,7 @@ pub fn load_fault_config(path: &str) -> Result<FaultsConfig, String> {
 
 /// Load a saved [`RunReport`] JSON artifact.
 pub fn load_report(path: &str) -> Result<RunReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("invalid report {path}: {e}"))
+    scanshare_engine::persist::load_report(path)
 }
 
 /// Load the trace of an artifact: either a [`RunReport`] JSON (the
@@ -622,7 +660,7 @@ fn run_measured(
 }
 
 fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
-    run_maybe_compare_with(db, spec, compare, &RunOutputs::default())
+    run_maybe_compare_with(db, spec, compare, None, &RunOutputs::default())
 }
 
 /// `scanshare bench`: measure the simulator's own wall-clock throughput.
@@ -714,11 +752,15 @@ fn run_maybe_compare_with(
     db: &Database,
     spec: &WorkloadSpec,
     compare: bool,
+    policy: Option<SharingPolicyKind>,
     outputs: &RunOutputs,
 ) -> i32 {
     if compare {
         let base = force_mode(spec, SharingMode::Base);
-        let ss = force_mode(spec, SharingMode::ScanSharing(SharingConfig::new(0)));
+        let ss = force_mode(
+            spec,
+            SharingMode::ScanSharing(SharingConfig::with_policy(0, policy.unwrap_or_default())),
+        );
         let rb = match run_workload(db, &base) {
             Ok(r) => r,
             Err(e) => {
@@ -858,6 +900,7 @@ mod tests {
                 db: None,
                 faults: None,
                 compare: false,
+                policy: None,
                 outputs: RunOutputs {
                     report: Some("out.json".into()),
                     trace: Some("t.jsonl".into()),
@@ -871,6 +914,7 @@ mod tests {
                 db: None,
                 faults: Some("plan.json".into()),
                 compare: false,
+                policy: None,
                 outputs: RunOutputs::default(),
             }
         );
@@ -907,7 +951,7 @@ mod tests {
             report: Some(report_path.to_string_lossy().into_owned()),
             trace: Some(trace_path.to_string_lossy().into_owned()),
         };
-        assert_eq!(run_maybe_compare_with(&db, &w, false, &outputs), 0);
+        assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
 
         // The saved report replays: embedded trace matches the JSONL
         // side channel, and both renderers produce real output.
@@ -946,6 +990,73 @@ mod tests {
         std::fs::remove_file(&db_path).ok();
         let w = throughput_workload(&loaded, 1, tpch.months as i64, 1, SharingMode::Base);
         assert_eq!(run_maybe_compare(&loaded, &w, false), 0);
+    }
+
+    #[test]
+    fn parses_run_policy_flag() {
+        for (name, kind) in [
+            ("grouping", SharingPolicyKind::Grouping),
+            ("attach", SharingPolicyKind::Attach),
+            ("elevator", SharingPolicyKind::Elevator),
+        ] {
+            match parse_args(&args(&format!("run --spec s.json --policy {name}"))).unwrap() {
+                Command::Run { policy, .. } => assert_eq!(policy, Some(kind)),
+                other => panic!("expected run command, got {other:?}"),
+            }
+        }
+        let err = parse_args(&args("run --spec s.json --policy zigzag")).unwrap_err();
+        assert!(err.0.contains("unknown policy 'zigzag'"), "got: {err}");
+        assert!(
+            err.0.contains("grouping, attach, or elevator"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn run_policy_selects_the_policy_end_to_end() {
+        // --policy elevator on a sharing spec stamps the report.
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        let w = throughput_workload(
+            &db,
+            2,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::ScanSharing(SharingConfig::with_policy(0, SharingPolicyKind::Elevator)),
+        );
+        let dir = std::env::temp_dir();
+        let report_path = dir.join(format!("scanshare_policy_cli_{}.json", std::process::id()));
+        let outputs = RunOutputs {
+            report: Some(report_path.to_string_lossy().into_owned()),
+            trace: None,
+        };
+        assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
+        let report = load_report(outputs.report.as_deref().unwrap()).unwrap();
+        std::fs::remove_file(&report_path).ok();
+        assert_eq!(report.policy, Some(SharingPolicyKind::Elevator));
+        // The provenance log announces the non-default policy, so
+        // `explain` narrates it.
+        let text = explain::render_explain(&report, None).unwrap();
+        assert!(
+            text.contains("non-default 'elevator' sharing policy"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn usage_documents_policy_and_faults_sections() {
+        // `run --help` must mention the --policy flag with all three
+        // policies, and the spec's optional "faults" subsection.
+        assert!(USAGE.contains("--policy grouping|attach|elevator"));
+        assert!(USAGE.contains("\"faults\" subsection"));
+    }
+
+    #[test]
+    fn spec_parse_diagnostic_mentions_the_faults_section() {
+        let msg = spec_error("bad.json", "expected value at line 1");
+        assert!(msg.contains("invalid spec bad.json"), "got: {msg}");
+        assert!(msg.contains("optional \"faults\" section"), "got: {msg}");
+        assert!(msg.contains("spec-template"), "got: {msg}");
     }
 
     #[test]

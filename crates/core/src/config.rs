@@ -3,6 +3,8 @@
 use scanshare_storage::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::policy::SharingPolicyKind;
+
 /// Which placement algorithm start_scan runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PlacementStrategy {
@@ -15,7 +17,7 @@ pub enum PlacementStrategy {
     /// index scans silently fall back to the practical algorithm.
     Optimal,
     /// QPipe-style attach (Harizopoulos et al., the paper's related work
-    /// [19]): a new scan always attaches to the ongoing scan with the
+    /// \[19\]): a new scan always attaches to the ongoing scan with the
     /// most remaining work, with no sharing-potential estimation. Works
     /// when speeds are similar; drifts apart when they are not — the
     /// weakness the paper's placement + throttling were built to fix.
@@ -55,6 +57,12 @@ pub struct SharingConfig {
     pub enable_throttling: bool,
     /// Master switch: leader/trailer page re-prioritization.
     pub enable_priorities: bool,
+    /// Which [`crate::policy::SharingPolicy`] the manager runs. Defaults
+    /// to the paper's grouping+throttling; `attach` and `elevator` model
+    /// the simpler sharing schemes of related work. Omitted in older
+    /// workload specs, which therefore keep their exact behavior.
+    #[serde(default)]
+    pub policy: SharingPolicyKind,
 }
 
 impl SharingConfig {
@@ -71,6 +79,15 @@ impl SharingConfig {
             placement_strategy: PlacementStrategy::default(),
             enable_throttling: true,
             enable_priorities: true,
+            policy: SharingPolicyKind::default(),
+        }
+    }
+
+    /// `new(pool_pages)` with the given sharing policy selected.
+    pub fn with_policy(pool_pages: u64, policy: SharingPolicyKind) -> Self {
+        SharingConfig {
+            policy,
+            ..Self::new(pool_pages)
         }
     }
 
@@ -79,7 +96,7 @@ impl SharingConfig {
         self.throttle_threshold_extents * self.extent_pages
     }
 
-    /// The QPipe-style attach baseline of the paper's related work [19]:
+    /// The QPipe-style attach baseline of the paper's related work \[19\]:
     /// unconditional attachment, no speed estimation, no throttling, no
     /// page re-prioritization.
     pub fn attach_baseline(pool_pages: u64) -> Self {

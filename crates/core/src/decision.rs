@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use crate::anchor::AnchorId;
 use crate::grouping::Role;
+use crate::policy::SharingPolicyKind;
 use crate::scan::{Location, ObjectId, ScanId};
 
 /// One start location the placement policy considered for a new scan.
@@ -52,6 +53,16 @@ pub struct PlacementCandidate {
 /// One policy decision, with the inputs that produced it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DecisionEvent {
+    /// A non-default sharing policy shaped this run; emitted once, when
+    /// the first scan registers. (The default grouping policy stays
+    /// silent so its reports match pre-policy-framework builds byte for
+    /// byte.)
+    PolicyChosen {
+        /// The first scan of the run (the event anchor).
+        scan: ScanId,
+        /// The policy every subsequent decision flows through.
+        policy: SharingPolicyKind,
+    },
     /// Placement started the scan at its own start key — either no
     /// candidate existed or none cleared the saving threshold.
     GroupStart {
@@ -204,7 +215,8 @@ impl DecisionEvent {
     /// The scan the decision is about.
     pub fn scan(&self) -> ScanId {
         match self {
-            DecisionEvent::GroupStart { scan, .. }
+            DecisionEvent::PolicyChosen { scan, .. }
+            | DecisionEvent::GroupStart { scan, .. }
             | DecisionEvent::GroupJoin { scan, .. }
             | DecisionEvent::Throttle { scan, .. }
             | DecisionEvent::Unthrottle { scan, .. }
@@ -370,6 +382,9 @@ pub fn priority_name(p: PagePriority) -> &'static str {
 /// One decision as a single human-readable line (no timestamp).
 pub fn describe(event: &DecisionEvent) -> String {
     match event {
+        DecisionEvent::PolicyChosen { policy, .. } => format!(
+            "sharing policy '{policy}' selected for this run (placement and throttling decisions below follow it)"
+        ),
         DecisionEvent::GroupStart {
             scan,
             candidates,
@@ -628,6 +643,10 @@ mod tests {
                 evicted_total: 1,
                 active: 2,
             },
+            DecisionEvent::PolicyChosen {
+                scan: ScanId(0),
+                policy: SharingPolicyKind::Elevator,
+            },
         ]
     }
 
@@ -638,7 +657,7 @@ mod tests {
             log.record(SimTime::from_millis(i as u64), e);
         }
         let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 10);
+        assert_eq!(jsonl.lines().count(), 11);
         let back = decisions_from_jsonl(&jsonl).unwrap();
         assert_eq!(back, log.records());
         // Blank lines tolerated; garbage names its line.
@@ -715,6 +734,8 @@ mod tests {
         assert!(evict.contains("2 members remain"), "got: {evict}");
         let degraded = describe(&events[9]);
         assert!(degraded.contains("degraded mode"), "got: {degraded}");
+        let policy = describe(&events[10]);
+        assert!(policy.contains("policy 'elevator'"), "got: {policy}");
     }
 
     #[test]
@@ -728,6 +749,8 @@ mod tests {
         assert_eq!(events[7].group(), None);
         assert_eq!(events[8].group(), Some(AnchorId(0)));
         assert_eq!(events[9].group(), None);
+        assert_eq!(events[10].scan(), ScanId(0));
+        assert_eq!(events[10].group(), None);
     }
 
     #[test]

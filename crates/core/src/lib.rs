@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `scanshare` — the scan-sharing manager.
 //!
 //! This crate is the reproduction of the primary contribution of
@@ -60,6 +61,7 @@ pub mod grouping;
 pub mod manager;
 pub mod obs;
 pub mod placement;
+pub mod policy;
 pub mod scan;
 pub mod stats;
 pub mod throttle;
@@ -69,6 +71,10 @@ pub use decision::{DecisionEvent, DecisionLog, DecisionRecord, PlacementCandidat
 pub use grouping::{GroupInfo, Role};
 pub use manager::{ManagerProbe, ScanProbe, ScanSharingManager, StartDecision, UpdateOutcome};
 pub use obs::{MetricsRegistry, MetricsSnapshot};
+pub use policy::{
+    AttachPolicy, ElevatorPolicy, GroupingPolicy, PolicyView, ScanView, SharingPolicy,
+    SharingPolicyKind,
+};
 pub use scan::{Location, ObjectId, QueryPriority, ScanDesc, ScanId, ScanKind};
 pub use stats::SharingStats;
 

@@ -110,7 +110,8 @@ struct HistogramInner {
     window: Mutex<Vec<u64>>,
 }
 
-/// A latency histogram with power-of-two buckets (see [`bucket_index`]).
+/// A latency histogram with power-of-two buckets (one bucket per
+/// leading-bit position of the microsecond value).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     inner: Arc<HistogramInner>,

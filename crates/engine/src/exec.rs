@@ -118,6 +118,13 @@ impl<'a> ExecWorld<'a> {
         }
     }
 
+    /// The sharing policy the run's manager dispatches through (`None`
+    /// for base runs with no manager). The report assembly stamps this
+    /// into [`crate::RunReport::policy`] when it is not the default.
+    pub fn sharing_policy(&self) -> Option<scanshare::SharingPolicyKind> {
+        self.mgr.as_ref().map(|m| m.config().policy)
+    }
+
     /// Arm fault injection for this run. Fault-free runs never call this,
     /// so they keep the exact pre-fault code path (and report bytes).
     pub fn enable_faults(&mut self, cfg: &FaultsConfig) {

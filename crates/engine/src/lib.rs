@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Discrete-event query executor for the `scanshare` reproduction.
 //!
 //! The engine plays the role DB2 UDB plays in the papers: it runs

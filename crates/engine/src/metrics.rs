@@ -113,6 +113,11 @@ pub struct RunReport {
     /// Fault-injection and retry accounting (all zero — and omitted
     /// from artifacts — when the run carried no fault plan).
     pub faults: FaultSummary,
+    /// The non-default sharing policy the run used, if any. `None` — and
+    /// omitted from artifacts — for base runs and for the default
+    /// grouping policy, so default-policy reports stay byte-identical to
+    /// artifacts written before the policy framework existed.
+    pub policy: Option<scanshare::SharingPolicyKind>,
 }
 
 impl Serialize for RunReport {
@@ -136,6 +141,9 @@ impl Serialize for RunReport {
         m.insert("decisions", self.decisions.to_json_value());
         if !self.faults.is_empty() {
             m.insert("faults", self.faults.to_json_value());
+        }
+        if let Some(policy) = &self.policy {
+            m.insert("policy", policy.to_json_value());
         }
         serde::Value::Object(m)
     }
@@ -173,6 +181,7 @@ impl Deserialize for RunReport {
             trace: opt(m, "trace")?,
             decisions: opt(m, "decisions")?,
             faults: opt(m, "faults")?,
+            policy: opt(m, "policy")?,
         })
     }
 }

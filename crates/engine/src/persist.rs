@@ -86,6 +86,26 @@ pub fn save(db: &Database, path: impl AsRef<Path>) -> EngineResult<()> {
     Ok(())
 }
 
+/// Save a [`crate::RunReport`] as pretty-printed JSON at `path` — the
+/// artifact format `scanshare metrics`/`explain` reload. Every report
+/// field round-trips, including the conditional sections (`faults`,
+/// `policy`) that only appear when a run actually used them.
+pub fn save_report(report: &crate::RunReport, path: impl AsRef<Path>) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+    std::fs::write(path.as_ref(), json)
+        .map_err(|e| format!("cannot write {}: {e}", path.as_ref().display()))
+}
+
+/// Load a [`crate::RunReport`] previously written by [`save_report`]
+/// (or by `scanshare run --report`). Artifacts predating a conditional
+/// section simply leave it at its default.
+pub fn load_report(path: impl AsRef<Path>) -> Result<crate::RunReport, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("invalid report {}: {e}", path.as_ref().display()))
+}
+
 /// Load a database previously written by [`save`].
 pub fn load(path: impl AsRef<Path>) -> EngineResult<Database> {
     let file = std::fs::File::open(path).map_err(io_err)?;
@@ -235,6 +255,49 @@ mod tests {
         assert_eq!(a.disk.pages_read, b.disk.pages_read);
         assert_eq!(a.disk.seeks, b.disk.seeks);
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn report_artifacts_roundtrip_with_policy_stamp() {
+        let db = build_db();
+        let q = Query::single(
+            "sum",
+            ScanSpec {
+                table: "lineitem".into(),
+                access: Access::FullTable,
+                pred: Pred::True,
+                agg: AggSpec::sums(vec![1]),
+                cpu: CpuClass::io_bound(),
+                require_order: false,
+                query_priority: Default::default(),
+                repeat: 1,
+            },
+        );
+        let spec = WorkloadSpec {
+            streams: vec![Stream {
+                queries: vec![q],
+                start_offset: SimDuration::ZERO,
+            }],
+            pool_pages: 64,
+            engine: EngineConfig::default(),
+            mode: SharingMode::ScanSharing(scanshare::SharingConfig::with_policy(
+                0,
+                scanshare::SharingPolicyKind::Attach,
+            )),
+            faults: Default::default(),
+        };
+        let report = run_workload(&db, &spec).unwrap();
+        assert_eq!(report.policy, Some(scanshare::SharingPolicyKind::Attach));
+
+        let path = tmp("report");
+        save_report(&report, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"policy\""), "policy stamp missing: {text}");
+        let back = load_report(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.policy, report.policy);
+        assert_eq!(back.makespan, report.makespan);
+        assert_eq!(back.queries[0].result, report.queries[0].result);
     }
 
     #[test]

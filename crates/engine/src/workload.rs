@@ -383,6 +383,11 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
             .map(|d| d.records())
             .unwrap_or_default(),
         faults,
+        // Only a non-default policy is stamped into the report, so
+        // default-policy artifacts keep their pre-framework bytes.
+        policy: world
+            .sharing_policy()
+            .filter(|p| *p != scanshare::SharingPolicyKind::default()),
     })
 }
 

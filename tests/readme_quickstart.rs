@@ -1,0 +1,44 @@
+//! README honesty check: the quickstart listing in README.md must be the
+//! verbatim contents of `examples/quickstart.rs`, and the documented
+//! policy-selection surface must exist.
+
+#[test]
+fn readme_quickstart_block_is_the_example_verbatim() {
+    let readme = include_str!("../README.md");
+    let example = include_str!("../examples/quickstart.rs");
+    assert!(
+        readme.contains(example.trim_end()),
+        "README.md's quickstart listing has drifted from examples/quickstart.rs;\n\
+         paste the file's current contents into the fenced block under\n\
+         'The quickstart example, in full'"
+    );
+}
+
+#[test]
+fn readme_documents_policy_selection_and_the_glossary() {
+    let readme = include_str!("../README.md");
+    assert!(
+        readme.contains("### Policy selection"),
+        "README.md lost its policy-selection subsection"
+    );
+    for policy in ["`grouping`", "`attach`", "`elevator`"] {
+        assert!(
+            readme.contains(policy),
+            "README.md policy-selection subsection no longer names {policy}"
+        );
+    }
+    assert!(
+        readme.contains("GLOSSARY.md"),
+        "README.md no longer links GLOSSARY.md"
+    );
+}
+
+#[test]
+fn the_documented_policy_api_compiles_and_runs() {
+    // The README tells library users to reach for SharingConfig::with_policy;
+    // keep that name honest.
+    use scanshare_repro::core::{SharingConfig, SharingPolicyKind};
+    let cfg = SharingConfig::with_policy(128, SharingPolicyKind::Elevator);
+    assert_eq!(cfg.policy, SharingPolicyKind::Elevator);
+    assert_eq!(cfg.pool_pages, 128);
+}
