@@ -12,7 +12,9 @@
 //! noise. Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
 
 use scanshare::SharingConfig;
-use scanshare_bench::gate::{collect_metrics, compare, has_regression, render_diffs, GateBaseline};
+use scanshare_bench::gate::{
+    collect_metrics, compare, has_regression, render_diffs, GateBaseline, WallSection,
+};
 use scanshare_engine::{run_workloads, FaultsConfig, RunReport, SharingMode};
 use scanshare_tpch::{generate, throughput_workload, TpchConfig};
 
@@ -32,7 +34,7 @@ fn smoke_description(cfg: &TpchConfig) -> String {
     )
 }
 
-fn run_smoke_pair(jobs: usize, faults: &FaultsConfig) -> (RunReport, RunReport) {
+fn run_smoke_pair(jobs: usize, faults: &FaultsConfig) -> (RunReport, RunReport, WallSection) {
     let cfg = smoke_config();
     let db = generate(&cfg);
     let months = cfg.months as i64;
@@ -60,13 +62,17 @@ fn run_smoke_pair(jobs: usize, faults: &FaultsConfig) -> (RunReport, RunReport) 
     // host machine and is never gated. The gated metrics below are all
     // virtual-time quantities.
     let pages = base.pool.logical_reads + ss.pool.logical_reads;
+    let wall = WallSection {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        pages_per_wall_sec: pages as f64 / (wall.as_secs_f64()).max(1e-9),
+        jobs: jobs as u64,
+    };
     eprintln!(
         "wall-clock (informational, not gated): {:.1} ms for both runs, \
          {:.0} simulated pages / wall second, --jobs {jobs}",
-        wall.as_secs_f64() * 1e3,
-        pages as f64 / wall.as_secs_f64()
+        wall.wall_ms, wall.pages_per_wall_sec,
     );
-    (base, ss)
+    (base, ss, wall)
 }
 
 const USAGE: &str = "\
@@ -85,6 +91,10 @@ OPTIONS:
                  policy) to both smoke runs; canned plans live in
                  results/fault_plans/. An empty plan must leave every
                  gated metric at 0.00% delta
+  --report-out FILE
+                 also save the scan-sharing leg's RunReport as compact
+                 JSON — byte-identical across machines, so CI can cmp it
+                 against the committed report artifact
 ";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -127,9 +137,10 @@ fn main() {
             }
         }
     };
+    let report_out = flag_value(&args, "--report-out");
     let code = match (gate, write) {
-        (Some(path), None) => run_gate(&path, jobs, &faults),
-        (None, Some(path)) => write_baseline(&path, jobs, &faults),
+        (Some(path), None) => run_gate(&path, jobs, &faults, report_out.as_deref()),
+        (None, Some(path)) => write_baseline(&path, jobs, &faults, report_out.as_deref()),
         _ => {
             eprint!("{USAGE}");
             2
@@ -138,12 +149,28 @@ fn main() {
     std::process::exit(code);
 }
 
-fn write_baseline(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
+/// Save the scan-sharing leg's report as compact JSON (the same bytes
+/// `serde_json::to_string` produces everywhere — the artifact CI diffs).
+fn save_report_out(path: &str, ss: &RunReport) -> Result<(), String> {
+    let json = serde_json::to_string(ss).map_err(|e| format!("cannot serialize report: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("scan-sharing report saved to {path}");
+    Ok(())
+}
+
+fn write_baseline(path: &str, jobs: usize, faults: &FaultsConfig, report_out: Option<&str>) -> i32 {
     let cfg = smoke_config();
-    let (base, ss) = run_smoke_pair(jobs, faults);
+    let (base, ss, wall) = run_smoke_pair(jobs, faults);
+    if let Some(out) = report_out {
+        if let Err(e) = save_report_out(out, &ss) {
+            eprintln!("{e}");
+            return 2;
+        }
+    }
     let baseline = GateBaseline {
         description: smoke_description(&cfg),
         metrics: collect_metrics(&base, &ss),
+        wall: Some(wall),
     };
     let json = match serde_json::to_string_pretty(&baseline) {
         Ok(j) => j,
@@ -166,7 +193,7 @@ fn write_baseline(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
     0
 }
 
-fn run_gate(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
+fn run_gate(path: &str, jobs: usize, faults: &FaultsConfig, report_out: Option<&str>) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -181,10 +208,29 @@ fn run_gate(path: &str, jobs: usize, faults: &FaultsConfig) -> i32 {
             return 2;
         }
     };
-    let (base, ss) = run_smoke_pair(jobs, faults);
+    let (base, ss, wall) = run_smoke_pair(jobs, faults);
+    if let Some(out) = report_out {
+        if let Err(e) = save_report_out(out, &ss) {
+            eprintln!("{e}");
+            return 2;
+        }
+    }
     let current = collect_metrics(&base, &ss);
     let diffs = compare(&baseline, &current);
     print!("{}", render_diffs(&baseline.description, &diffs));
+    // The committed wall numbers are context, not a gate: name them next
+    // to what this host just measured so drifts are easy to eyeball.
+    if let Some(b) = &baseline.wall {
+        eprintln!(
+            "wall vs baseline (informational, not gated): {:.1} ms now vs {:.1} ms \
+             committed ({:+.1}% — host-dependent), --jobs {} vs {}",
+            wall.wall_ms,
+            b.wall_ms,
+            (wall.wall_ms - b.wall_ms) / b.wall_ms.max(1e-9) * 100.0,
+            wall.jobs,
+            b.jobs,
+        );
+    }
     if has_regression(&diffs) {
         1
     } else {

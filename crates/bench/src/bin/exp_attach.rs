@@ -106,6 +106,7 @@ fn main() {
                 engine: Default::default(),
                 mode: mode.clone(),
                 faults: Default::default(),
+                slo: Default::default(),
             };
             let r = run_workload(&db, &spec).expect("run");
             let t = r.makespan.as_secs_f64();

@@ -109,6 +109,7 @@ fn main() {
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     };
     let (rb, rs) = run_pair(&db, &spec(SharingMode::Base), &spec(ss_mode()));
 

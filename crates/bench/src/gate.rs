@@ -37,6 +37,23 @@ pub struct GateMetric {
     pub tolerance_pct: f64,
 }
 
+/// Host wall-clock throughput of the run that produced a baseline.
+///
+/// Structured counterpart of the informational line `bench_gate` prints:
+/// committed so drifts are visible in review diffs, but **never gated**
+/// (tolerance is effectively infinite) because wall time varies with the
+/// host machine — only virtual-time metrics are deterministic enough to
+/// fail CI on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallSection {
+    /// Wall milliseconds for the base + scan-sharing smoke pair.
+    pub wall_ms: f64,
+    /// Simulated pages per wall-second across both runs.
+    pub pages_per_wall_sec: f64,
+    /// Worker threads the pair ran on.
+    pub jobs: u64,
+}
+
 /// A committed performance baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GateBaseline {
@@ -44,6 +61,10 @@ pub struct GateBaseline {
     pub description: String,
     /// The gated metrics.
     pub metrics: Vec<GateMetric>,
+    /// Informational wall-clock numbers; absent in older baselines and
+    /// ignored by [`compare`].
+    #[serde(default)]
+    pub wall: Option<WallSection>,
 }
 
 /// One metric's comparison against the baseline.
@@ -219,6 +240,7 @@ mod tests {
                 metric("time", 100.0, Better::Lower, 5.0),
                 metric("hit", 80.0, Better::Higher, 10.0),
             ],
+            wall: None,
         }
     }
 
@@ -276,6 +298,7 @@ mod tests {
         let b = GateBaseline {
             description: "neg".into(),
             metrics: vec![metric("gain", -10.0, Better::Higher, 10.0)],
+            wall: None,
         };
         assert!(!has_regression(&compare(
             &b,
@@ -297,5 +320,27 @@ mod tests {
         let json = serde_json::to_string_pretty(&baseline()).unwrap();
         let back: GateBaseline = serde_json::from_str(&json).unwrap();
         assert_eq!(back, baseline());
+    }
+
+    #[test]
+    fn wall_section_is_optional_and_never_gated() {
+        // Baselines written before the wall section still parse.
+        let legacy = r#"{"description": "old", "metrics": []}"#;
+        let b: GateBaseline = serde_json::from_str(legacy).unwrap();
+        assert!(b.wall.is_none());
+        // A populated wall section round-trips and plays no part in the
+        // gate verdict, however wildly the host numbers differ.
+        let mut with = baseline();
+        with.wall = Some(WallSection {
+            wall_ms: 12.5,
+            pages_per_wall_sec: 1.5e6,
+            jobs: 2,
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("pages_per_wall_sec"), "got: {json}");
+        let back: GateBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with);
+        let same_metrics = with.metrics.clone();
+        assert!(!has_regression(&compare(&with, &same_metrics)));
     }
 }

@@ -129,6 +129,36 @@ pub fn render_explain(report: &RunReport, scan: Option<u64>) -> Result<String, S
             "run used the non-default '{p}' sharing policy; decisions below follow it\n"
         );
     }
+    // Service-level verdicts come first: they are the run's contract,
+    // and the decisions below are the evidence for why they held or
+    // broke (throttle waits stretch queries, placement misses cost
+    // hit ratio).
+    if scan.is_none() && !report.slo.is_empty() {
+        let breached = report.slo.iter().filter(|v| !v.passed).count();
+        let _ = writeln!(
+            out,
+            "== SLO verdicts: {} of {} rule(s) breached ==",
+            breached,
+            report.slo.len()
+        );
+        for v in &report.slo {
+            let status = if v.passed { "PASS" } else { "FAIL" };
+            let why = if v.note.is_empty() {
+                format!("observed {:.4}", v.observed)
+            } else {
+                v.note.clone()
+            };
+            let _ = writeln!(
+                out,
+                "  {status}  {:<16} wants {} {} {:.4} — {why}",
+                v.rule,
+                v.metric,
+                v.op.symbol(),
+                v.threshold,
+            );
+        }
+        out.push('\n');
+    }
     if report.decisions.is_empty() {
         out.push_str(
             "no decisions recorded (base-mode run, or artifact predating decision provenance)\n",
@@ -206,6 +236,8 @@ mod tests {
             decisions,
             faults: Default::default(),
             policy: None,
+            profile: None,
+            slo: Vec::new(),
         }
     }
 
@@ -320,6 +352,47 @@ mod tests {
         );
         assert!(text.contains("policy 'attach' selected"), "got: {text}");
         assert!(text.contains("policy"), "got: {text}");
+    }
+
+    #[test]
+    fn slo_verdicts_lead_the_narrative() {
+        use scanshare_engine::slo::{SloOp, SloVerdict};
+        let mut report = report_with(sample_log());
+        report.slo = vec![
+            SloVerdict {
+                rule: "fair".into(),
+                metric: "p99_stretch".into(),
+                op: SloOp::Le,
+                threshold: 1.5,
+                observed: 2.25,
+                passed: false,
+                note: String::new(),
+            },
+            SloVerdict {
+                rule: "warm".into(),
+                metric: "hit_ratio".into(),
+                op: SloOp::Ge,
+                threshold: 0.5,
+                observed: 0.8,
+                passed: true,
+                note: String::new(),
+            },
+        ];
+        let text = render_explain(&report, None).unwrap();
+        assert!(text.contains("1 of 2 rule(s) breached"), "got: {text}");
+        assert!(
+            text.contains("FAIL  fair             wants p99_stretch <= 1.5000 — observed 2.2500"),
+            "got: {text}"
+        );
+        assert!(text.contains("PASS  warm"), "got: {text}");
+        // The verdicts lead; the decision evidence follows.
+        assert!(
+            text.find("SLO verdicts").unwrap() < text.find("decision summary").unwrap(),
+            "got: {text}"
+        );
+        // A single-scan narrative stays focused on the scan.
+        let one = render_explain(&report, Some(0)).unwrap();
+        assert!(!one.contains("SLO verdicts"), "got: {one}");
     }
 
     #[test]

@@ -12,15 +12,16 @@
 //! Argument parsing is hand-rolled (no extra dependencies): flags are
 //! `--name value` pairs validated against each subcommand's schema.
 
-use scanshare::{SharingConfig, SharingPolicyKind};
+use scanshare::{SharingConfig, SharingPolicyKind, SpanProfiler};
 use scanshare_engine::{
-    run_workload, run_workload_traced, Database, FaultsConfig, RunReport, SharingMode, Tracer,
-    WorkloadSpec,
+    run_workload, run_workload_hooked, Database, FaultsConfig, RunHooks, RunReport, SharingMode,
+    Tracer, WorkloadSpec,
 };
 use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
 use serde::{Deserialize, Serialize};
 
 pub mod explain;
+pub mod profile;
 pub mod render;
 pub mod watch;
 
@@ -84,8 +85,19 @@ pub enum Command {
     },
     /// `trace --artifact FILE`: replay a saved report's event log.
     Trace { artifact: String },
-    /// `metrics --artifact FILE`: render a saved report's metrics.
-    Metrics { artifact: String },
+    /// `metrics --artifact FILE [--quantiles]`: render a saved report's
+    /// metrics; `--quantiles` expands each histogram into p50/p90/p95/p99
+    /// plus its bucket table.
+    Metrics { artifact: String, quantiles: bool },
+    /// `profile --artifact FILE | --smoke [--collapse] [--top N]`:
+    /// render the self-profiler summary of a saved profiled report, or
+    /// of a freshly recorded built-in smoke run.
+    Profile {
+        artifact: Option<String>,
+        smoke: bool,
+        collapse: bool,
+        top: usize,
+    },
     /// `explain --artifact FILE [--scan ID]`: narrate a saved report's
     /// decision provenance — why each scan was placed, throttled, capped,
     /// and re-prioritized.
@@ -128,6 +140,10 @@ pub struct RunOutputs {
     pub report: Option<String>,
     /// `--trace-out OUT`: the trace alone, as JSON-lines.
     pub trace: Option<String>,
+    /// `--profile-out OUT`: span profile as Chrome trace-event JSON
+    /// (open at ui.perfetto.dev). Also embeds the folded
+    /// [`scanshare::ProfileSummary`] into the report.
+    pub profile: Option<String>,
 }
 
 impl RunOutputs {
@@ -221,6 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 outputs: RunOutputs {
                     report: flag_value(args, "--report").map(String::from),
                     trace: flag_value(args, "--trace-out").map(String::from),
+                    profile: flag_value(args, "--profile-out").map(String::from),
                 },
             })
         }
@@ -233,7 +250,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             artifact: flag_value(args, "--artifact")
                 .ok_or_else(|| UsageError("metrics requires --artifact FILE".into()))?
                 .to_string(),
+            quantiles: args.iter().any(|a| a == "--quantiles"),
         }),
+        "profile" => {
+            let artifact = flag_value(args, "--artifact").map(String::from);
+            let smoke = args.iter().any(|a| a == "--smoke");
+            if artifact.is_none() && !smoke {
+                return Err(UsageError(
+                    "profile requires --artifact FILE or --smoke".into(),
+                ));
+            }
+            Ok(Command::Profile {
+                artifact,
+                smoke,
+                collapse: args.iter().any(|a| a == "--collapse"),
+                top: parse_flag(args, "--top", 10)?,
+            })
+        }
         "explain" => Ok(Command::Explain {
             artifact: flag_value(args, "--artifact")
                 .ok_or_else(|| UsageError("explain requires --artifact FILE".into()))?
@@ -287,7 +320,7 @@ USAGE:
       Staggered single-query run (Figure 15/16 setup).
   scanshare run --spec FILE [--db FILE] [--faults FILE] [--compare]
                 [--policy grouping|attach|elevator]
-                [--report OUT] [--trace-out OUT]
+                [--report OUT] [--trace-out OUT] [--profile-out OUT]
       Execute a JSON RunSpec. The spec's workload section may carry an
       optional \"faults\" subsection (a FaultsConfig: seeded fault plan
       plus retry/timeout policy) — `scanshare spec-template` shows the
@@ -299,16 +332,35 @@ USAGE:
       paper's grouping + throttling machinery), attach (join the newest
       compatible scan, never throttle), or elevator (one circulating
       read cursor per table);
-      --report saves the full RunReport (metrics + trace) as JSON and
-      --trace-out saves the event log alone as JSON-lines.
-      Exits 0 on success, 1 on engine failure, 2 on bad input, and 3
-      when injected faults aborted at least one scan (degraded run).
+      --report saves the full RunReport (metrics + trace) as JSON,
+      --trace-out saves the event log alone as JSON-lines, and
+      --profile-out records a hierarchical span profile and saves it as
+      Chrome trace-event JSON (open at ui.perfetto.dev; one track per
+      scan stream plus manager and driver tracks). With --profile-out
+      the report also embeds a folded profile summary readable by
+      `scanshare profile`.
+      The spec's workload section may also carry an \"slo\" subsection:
+      declarative service-level rules (e.g. {\"name\": \"fair\",
+      \"metric\": \"p99_stretch\", \"op\": \"<=\", \"value\": 1.5})
+      evaluated at end of run into pass/fail verdicts in the report.
+      Exits 0 on success, 1 on engine failure, 2 on bad input, 3 when
+      injected faults aborted at least one scan (degraded run), and 4
+      when the run completed but breached at least one SLO rule.
   scanshare trace --artifact FILE
       Replay a saved RunReport (or raw JSON-lines trace): scan
       lifecycles with attributed throttle waits, then the event log.
-  scanshare metrics --artifact FILE
+  scanshare metrics --artifact FILE [--quantiles]
       Render a saved RunReport's metrics snapshot: counters, latency
       histograms, and per-group/per-scan timelines as text tables.
+      --quantiles expands every histogram with p50/p90/p95/p99 rows and
+      its full bucket table (inclusive upper bounds).
+  scanshare profile (--artifact FILE | --smoke) [--collapse] [--top N]
+      Render the self-profiler summary: per-phase inclusive/exclusive
+      times on both clocks (deterministic virtual µs, host wall ns) and
+      the hottest spans. --artifact reads a report saved by
+      `run --profile-out`; --smoke records a fresh built-in run.
+      --collapse instead prints flamegraph-folded stacks
+      (`phase;child µs` per line) for flamegraph.pl or speedscope.
   scanshare explain --artifact FILE [--scan ID]
       Narrate a saved RunReport's decision provenance: per-scan causal
       stories (placement candidates vs threshold, throttle distance vs
@@ -514,9 +566,12 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         },
-        Command::Metrics { artifact } => match load_report(&artifact) {
+        Command::Metrics {
+            artifact,
+            quantiles,
+        } => match load_report(&artifact) {
             Ok(report) => {
-                print!("{}", render::render_metrics(&report));
+                print!("{}", render::render_metrics_detailed(&report, quantiles));
                 0
             }
             Err(e) => {
@@ -524,6 +579,61 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         },
+        Command::Profile {
+            artifact,
+            smoke,
+            collapse,
+            top,
+        } => {
+            let summary = if let Some(path) = artifact {
+                match load_report(&path) {
+                    Ok(report) => match report.profile {
+                        Some(s) => s,
+                        None => {
+                            eprintln!(
+                                "{path} has no profile section — record one with \
+                                 `scanshare run ... --profile-out trace.json --report {path}`"
+                            );
+                            return 2;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return 2;
+                    }
+                }
+            } else {
+                // --smoke: record a fresh profile of a tiny built-in
+                // comparison run, so the profiler can be exercised (and
+                // CI can smoke-test it) without writing a spec.
+                let tpch = TpchConfig::tiny();
+                let db = generate(&tpch);
+                let w = throughput_workload(
+                    &db,
+                    2,
+                    tpch.months as i64,
+                    tpch.seed,
+                    SharingMode::ScanSharing(SharingConfig::new(0)),
+                );
+                let profiler = SpanProfiler::default();
+                let hooks = RunHooks {
+                    profiler: Some(profiler.clone()),
+                    ..RunHooks::default()
+                };
+                debug_assert!(smoke, "parse_args requires --artifact or --smoke");
+                if let Err(e) = run_workload_hooked(&db, &w, hooks) {
+                    eprintln!("smoke run failed: {e}");
+                    return 1;
+                }
+                profiler.summary()
+            };
+            if collapse {
+                print!("{}", profile::render_collapsed(&summary));
+            } else {
+                print!("{}", profile::render_profile(&summary, top));
+            }
+            0
+        }
         Command::Explain { artifact, scan } => {
             match load_report(&artifact).and_then(|report| explain::render_explain(&report, scan)) {
                 Ok(text) => {
@@ -649,14 +759,55 @@ fn run_measured(
     spec: &WorkloadSpec,
     outputs: &RunOutputs,
 ) -> Result<RunReport, String> {
-    let r = if outputs.any() {
-        run_workload_traced(db, spec, Tracer::new(1 << 16))
-    } else {
-        run_workload(db, spec)
+    let profiler = outputs.profile.as_ref().map(|_| SpanProfiler::default());
+    let hooks = RunHooks {
+        tracer: outputs.any().then(|| Tracer::new(1 << 16)),
+        profiler: profiler.clone(),
+        ..RunHooks::default()
+    };
+    let mut r = run_workload_hooked(db, spec, hooks).map_err(|e| format!("run failed: {e}"))?;
+    if let (Some(p), Some(path)) = (&profiler, &outputs.profile) {
+        let json = serde_json::to_string(&p.perfetto()).expect("trace serializes");
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("profile saved to {path} (open at ui.perfetto.dev)");
+        // The saved/printed report carries the folded summary too, so
+        // `scanshare profile --artifact` can read it back.
+        r.profile = Some(p.summary());
     }
-    .map_err(|e| format!("run failed: {e}"))?;
     outputs.save(&r)?;
     Ok(r)
+}
+
+/// Print any SLO verdicts the run evaluated; returns 4 when at least
+/// one rule was breached, 0 otherwise.
+fn slo_exit(r: &RunReport) -> i32 {
+    if r.slo.is_empty() {
+        return 0;
+    }
+    let mut breached = 0;
+    for v in &r.slo {
+        let status = if v.passed { "PASS" } else { "FAIL" };
+        let note = if v.note.is_empty() {
+            String::new()
+        } else {
+            format!("  ({})", v.note)
+        };
+        println!(
+            "slo {status}  {:<16} {} {} {:.4}  observed {:.4}{note}",
+            v.rule,
+            v.metric,
+            v.op.symbol(),
+            v.threshold,
+            v.observed,
+        );
+        breached += (!v.passed) as i32;
+    }
+    if breached > 0 {
+        eprintln!("SLO breach: {breached} of {} rule(s) failed", r.slo.len());
+        4
+    } else {
+        0
+    }
 }
 
 fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
@@ -777,12 +928,26 @@ fn run_maybe_compare_with(
             }
         };
         print_comparison(&rb, &rs);
-        degraded_exit(&rb).max(degraded_exit(&rs))
+        // Degradation (3) outranks an SLO breach (4): partial results
+        // explain breached rules, so report the root cause.
+        let degraded = degraded_exit(&rb).max(degraded_exit(&rs));
+        let slo = slo_exit(&rb).max(slo_exit(&rs));
+        if degraded != 0 {
+            degraded
+        } else {
+            slo
+        }
     } else {
         match run_measured(db, spec, outputs) {
             Ok(r) => {
                 print_report("run", &r);
-                degraded_exit(&r)
+                let degraded = degraded_exit(&r);
+                let slo = slo_exit(&r);
+                if degraded != 0 {
+                    degraded
+                } else {
+                    slo
+                }
             }
             Err(e) => {
                 eprintln!("{e}");
@@ -904,6 +1069,7 @@ mod tests {
                 outputs: RunOutputs {
                     report: Some("out.json".into()),
                     trace: Some("t.jsonl".into()),
+                    profile: None,
                 },
             }
         );
@@ -927,7 +1093,8 @@ mod tests {
         assert_eq!(
             parse_args(&args("metrics --artifact out.json")).unwrap(),
             Command::Metrics {
-                artifact: "out.json".into()
+                artifact: "out.json".into(),
+                quantiles: false,
             }
         );
     }
@@ -950,6 +1117,7 @@ mod tests {
         let outputs = RunOutputs {
             report: Some(report_path.to_string_lossy().into_owned()),
             trace: Some(trace_path.to_string_lossy().into_owned()),
+            profile: None,
         };
         assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
 
@@ -1029,6 +1197,7 @@ mod tests {
         let outputs = RunOutputs {
             report: Some(report_path.to_string_lossy().into_owned()),
             trace: None,
+            profile: None,
         };
         assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
         let report = load_report(outputs.report.as_deref().unwrap()).unwrap();

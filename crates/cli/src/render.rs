@@ -79,10 +79,42 @@ fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
     ));
 }
 
+/// Width of a bucket-count bar in `--quantiles` output.
+const BUCKET_BAR: usize = 24;
+
+/// Expand one histogram under its summary line: exact-or-bucketed
+/// p50/p90/p95/p99, then every non-empty power-of-two bucket with its
+/// inclusive upper bound and a count bar.
+fn render_histogram_quantiles(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "    quantiles   p50 {:>9}  p90 {:>9}  p95 {:>9}  p99 {:>9}\n",
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    ));
+    let peak = h.buckets.iter().map(|b| b.count).max().unwrap_or(0).max(1);
+    for b in &h.buckets {
+        let le = if b.le == u64::MAX {
+            "+inf".to_string()
+        } else {
+            b.le.to_string()
+        };
+        let bar = "#".repeat(((b.count * BUCKET_BAR as u64) / peak).max(1) as usize);
+        out.push_str(&format!("    le {le:>12} {:>10}  {bar}\n", b.count));
+    }
+}
+
 /// Render the metrics snapshot of a saved run: aggregate counters and
 /// gauges, latency histograms, and every sampled time series as a
 /// timeline spanning the run.
 pub fn render_metrics(report: &RunReport) -> String {
+    render_metrics_detailed(report, false)
+}
+
+/// [`render_metrics`] with an optional per-histogram quantile/bucket
+/// expansion (`scanshare metrics --quantiles`).
+pub fn render_metrics_detailed(report: &RunReport, quantiles: bool) -> String {
     let m: &MetricsSnapshot = &report.metrics;
     let end_us = m.at.as_micros().max(report.makespan.as_micros());
     let mut out = String::new();
@@ -109,6 +141,9 @@ pub fn render_metrics(report: &RunReport) -> String {
         out.push_str("== histograms (µs) ==\n");
         for h in &m.histograms {
             render_histogram(&mut out, h);
+            if quantiles {
+                render_histogram_quantiles(&mut out, h);
+            }
         }
         out.push('\n');
     }
@@ -213,6 +248,27 @@ mod tests {
         let t = timeline(&s, 1_000_000, 10);
         // Zero samples still mark their column (lowest ramp level).
         assert_eq!(t.chars().next(), Some('.'));
+    }
+
+    #[test]
+    fn quantile_expansion_lists_buckets_with_upper_bounds() {
+        use scanshare::obs::Histogram;
+        let h = Histogram::default();
+        for v in [10, 20, 100, 1_000, 5_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot("disk.read_us");
+        let mut out = String::new();
+        render_histogram_quantiles(&mut out, &snap);
+        // Small histograms report exact nearest-rank quantiles from the
+        // sample window.
+        assert!(out.contains(&format!("p50 {:>9}", 100)), "got: {out}");
+        assert!(out.contains(&format!("p99 {:>9}", 5_000)), "got: {out}");
+        // Each non-empty power-of-two bucket prints its inclusive upper
+        // bound and a visible count bar.
+        assert!(out.contains(&format!("le {:>12}", 15)), "got: {out}");
+        assert!(out.contains('#'), "got: {out}");
+        assert_eq!(out.matches("    le ").count(), snap.buckets.len());
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use config::{PlacementStrategy, SharingConfig};
 pub use decision::{DecisionEvent, DecisionLog, DecisionRecord, PlacementCandidate};
 pub use grouping::{GroupInfo, Role};
 pub use manager::{ManagerProbe, ScanProbe, ScanSharingManager, StartDecision, UpdateOutcome};
+pub use obs::span::{ProfileSummary, SpanId, SpanProfiler, Track};
 pub use obs::{MetricsRegistry, MetricsSnapshot};
 pub use policy::{
     AttachPolicy, ElevatorPolicy, GroupingPolicy, PolicyView, ScanView, SharingPolicy,

@@ -26,6 +26,7 @@ use crate::anchor::AnchorTable;
 use crate::config::SharingConfig;
 use crate::decision::{DecisionEvent, DecisionLog};
 use crate::grouping::{find_leaders_trailers, GroupInfo, Groups, Role};
+use crate::obs::span::{SpanProfiler, Track};
 use crate::policy::{policy_for, FinishedView, PolicyView, ScanView, SharingPolicy};
 use crate::scan::{Location, ObjectId, ScanDesc, ScanId, ScanKind, ScanState};
 use crate::stats::SharingStats;
@@ -180,6 +181,10 @@ pub struct ScanSharingManager {
     /// Optional decision-provenance sink; every policy decision is
     /// recorded here when attached (see [`crate::decision`]).
     decisions: Mutex<Option<DecisionLog>>,
+    /// Optional span profiler; placement and re-grouping decisions emit
+    /// instant spans on the manager track when attached (see
+    /// [`crate::obs::span`]).
+    profiler: Mutex<Option<SpanProfiler>>,
 }
 
 impl ScanSharingManager {
@@ -199,6 +204,7 @@ impl ScanSharingManager {
                 evicted_by_fault: 0,
             }),
             decisions: Mutex::new(None),
+            profiler: Mutex::new(None),
         }
     }
 
@@ -222,6 +228,27 @@ impl ScanSharingManager {
     fn emit(&self, at: SimTime, event: DecisionEvent) {
         if let Some(log) = self.decisions.lock().as_ref() {
             log.record(at, event);
+        }
+    }
+
+    /// Attach a span profiler; placement and re-grouping decisions emit
+    /// instant spans on [`Track::Manager`], nested under whatever engine
+    /// span is open when the manager is called. Clones share the span
+    /// buffer, so the caller keeps its handle to export the trace.
+    pub fn attach_profiler(&self, profiler: SpanProfiler) {
+        *self.profiler.lock() = Some(profiler);
+    }
+
+    /// Record an instant span on the manager track with `attrs`, when a
+    /// profiler is attached. Called once per scan lifetime event (start,
+    /// eviction), never per extent, so unprofiled runs pay one mutex
+    /// probe on a cold path only.
+    fn span_instant(&self, name: &str, at: SimTime, attrs: &[(&str, String)]) {
+        if let Some(p) = self.profiler.lock().as_ref() {
+            let id = p.instant_on(Track::Manager, name, at);
+            for (k, v) in attrs {
+                p.attr(id, k, v.clone());
+            }
         }
     }
 
@@ -363,6 +390,24 @@ impl ScanSharingManager {
         let state = ScanState::new(id, desc, location, anchor, offset, now);
         inner.scans.insert(id, state);
         let threshold_pages = self.placement_threshold();
+        self.span_instant(
+            "mgr.place",
+            now,
+            &[
+                ("scan", id.0.to_string()),
+                ("object", object.0.to_string()),
+                ("policy", self.policy.kind().to_string()),
+                ("candidates", candidates.len().to_string()),
+                (
+                    "decision",
+                    match &decision {
+                        StartDecision::FromStart => "from_start".to_string(),
+                        StartDecision::JoinAt { scan: Some(s), .. } => format!("join scan {}", s.0),
+                        StartDecision::JoinAt { scan: None, .. } => "join_location".to_string(),
+                    },
+                ),
+            ],
+        );
         match &decision {
             StartDecision::FromStart => self.emit(
                 now,
@@ -686,6 +731,16 @@ impl ScanSharingManager {
                 evicted_total,
                 active: inner.scans.len(),
             },
+        );
+        self.span_instant(
+            "mgr.regroup",
+            now,
+            &[
+                ("scan", id.0.to_string()),
+                ("group", anchor.0.to_string()),
+                ("reason", reason.to_string()),
+                ("survivors", remaining.to_string()),
+            ],
         );
 
         // Re-evaluate the survivors now instead of waiting for their next

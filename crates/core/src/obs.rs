@@ -20,6 +20,8 @@
 //! atomic RMWs per event. Only registration (`registry.counter("x")`)
 //! takes a lock.
 
+pub mod span;
+
 use parking_lot::Mutex;
 use scanshare_storage::SimTime;
 use serde::{Deserialize, Serialize};

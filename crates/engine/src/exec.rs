@@ -11,6 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use scanshare::obs::span::SpanProfiler;
 use scanshare::obs::{Histogram, MetricsRegistry};
 use scanshare::ScanSharingManager;
 use scanshare_storage::{
@@ -53,6 +54,10 @@ pub struct ExecWorld<'a> {
     pub cfg: EngineConfig,
     /// Optional structured event log.
     pub tracer: Option<crate::trace::Tracer>,
+    /// Optional span profiler. `None` (the default) keeps the exact
+    /// unprofiled code path: no span is recorded, no attribute string is
+    /// built, and reports stay byte-identical to pre-profiling builds.
+    pub profiler: Option<SpanProfiler>,
     /// Shared metrics registry every layer records into; snapshotted
     /// into the run report.
     pub metrics: MetricsRegistry,
@@ -105,6 +110,7 @@ impl<'a> ExecWorld<'a> {
             mgr,
             cfg,
             tracer: None,
+            profiler: None,
             metrics,
             read_hist,
             throttle_hist,
@@ -162,6 +168,7 @@ impl<'a> ExecWorld<'a> {
     /// backoff up to the retry budget; permanent errors (and exhausted
     /// budgets) surface as `StorageError::ReadFault`.
     fn read_run(&mut self, now: SimTime, phys: u64, npages: u32) -> StorageResult<ReadCompletion> {
+        let prof = self.profiler.clone();
         let disk = &mut self.disk;
         let Some(fs) = self.faults.as_mut() else {
             return Ok(disk.read(now, phys, npages));
@@ -177,6 +184,16 @@ impl<'a> ExecWorld<'a> {
                         // (the device did the work either way).
                         fs.timeouts += 1;
                         fs.retries += 1;
+                        // Instants are stamped at the request's issue
+                        // time (monotone per track); the actual retry
+                        // moment rides in an attribute.
+                        if let Some(p) = &prof {
+                            let s = p.instant("io.retry", now);
+                            p.attr(s, "kind", "timeout");
+                            p.attr(s, "attempt", attempt.to_string());
+                            p.attr(s, "addr", phys.to_string());
+                            p.attr(s, "retry_at_us", c.done.as_micros().to_string());
+                        }
                         attempt += 1;
                         issue = c.done;
                         continue;
@@ -200,6 +217,14 @@ impl<'a> ExecWorld<'a> {
                             fs.backoff.as_micros() << (attempt - 1).min(16),
                         );
                         fs.backoff_wait += backoff;
+                        if let Some(p) = &prof {
+                            let s = p.instant("io.retry", now);
+                            p.attr(s, "kind", "transient");
+                            p.attr(s, "attempt", attempt.to_string());
+                            p.attr(s, "device", device.to_string());
+                            p.attr(s, "backoff_us", backoff.as_micros().to_string());
+                            p.attr(s, "retry_at_us", (issue + backoff).as_micros().to_string());
+                        }
                         issue += backoff;
                         attempt += 1;
                         continue;
@@ -257,6 +282,12 @@ impl<'a> ExecWorld<'a> {
                 j += 1;
             }
             let (_, phys) = misses[i];
+            // Seek distance is cumulative across the array; the delta
+            // around one request attributes head travel to this miss.
+            let seek_before = self
+                .profiler
+                .as_ref()
+                .map(|_| self.disk.stats().seek_distance_pages);
             let completion = match self.read_run(now, phys, (j - i) as u32) {
                 Ok(c) => c,
                 Err(e) => {
@@ -271,6 +302,22 @@ impl<'a> ExecWorld<'a> {
                     return Err(e);
                 }
             };
+            if let Some(p) = &self.profiler {
+                let s = p.instant("io.miss", now);
+                p.attr(s, "device", self.disk.device_of(phys).to_string());
+                p.attr(s, "pages", (j - i).to_string());
+                p.attr(
+                    s,
+                    "latency_us",
+                    completion.done.since(now).as_micros().to_string(),
+                );
+                let travelled = self
+                    .disk
+                    .stats()
+                    .seek_distance_pages
+                    .saturating_sub(seek_before.unwrap_or(0));
+                p.attr(s, "seek_distance_pages", travelled.to_string());
+            }
             self.read_hist
                 .record(completion.done.since(now).as_micros());
             requests += 1;
@@ -331,6 +378,16 @@ impl<'a> ExecWorld<'a> {
                     return Err(e);
                 }
             };
+            if let Some(p) = &self.profiler {
+                let s = p.instant("io.prefetch", now);
+                p.attr(s, "device", self.disk.device_of(phys).to_string());
+                p.attr(s, "pages", (j - i).to_string());
+                p.attr(
+                    s,
+                    "latency_us",
+                    completion.done.since(now).as_micros().to_string(),
+                );
+            }
             self.read_hist
                 .record(completion.done.since(now).as_micros());
             self.sys_time += self.cfg.sys_per_request;

@@ -33,6 +33,7 @@ pub mod par_runs;
 pub mod persist;
 pub mod query;
 pub mod scan_exec;
+pub mod slo;
 pub mod trace;
 pub mod workload;
 
@@ -43,6 +44,7 @@ pub use faults::{FaultSummary, FaultsConfig};
 pub use metrics::{Breakdown, QueryRecord, RunReport};
 pub use par_runs::{par_map, run_workloads};
 pub use query::{Access, AggSpec, Pred, Query, QueryResult, ScanSpec};
+pub use slo::{SloConfig, SloOp, SloRule, SloVerdict};
 pub use trace::{TraceEvent, TraceRecord, Tracer};
 pub use workload::{
     run_workload, run_workload_hooked, run_workload_traced, RunHooks, SharingMode, Stream,

@@ -118,6 +118,15 @@ pub struct RunReport {
     /// grouping policy, so default-policy reports stay byte-identical to
     /// artifacts written before the policy framework existed.
     pub policy: Option<scanshare::SharingPolicyKind>,
+    /// Span-profiler summary, present only when profiling was requested
+    /// (`--profile-out` or an attached [`scanshare::SpanProfiler`]).
+    /// Omitted from artifacts when `None`, so unprofiled reports stay
+    /// byte-identical to artifacts written before profiling existed.
+    pub profile: Option<scanshare::ProfileSummary>,
+    /// SLO rule verdicts, one per rule in the workload spec's `slo`
+    /// section (empty — and omitted from artifacts — when the spec
+    /// declares no rules).
+    pub slo: Vec<crate::slo::SloVerdict>,
 }
 
 impl Serialize for RunReport {
@@ -144,6 +153,12 @@ impl Serialize for RunReport {
         }
         if let Some(policy) = &self.policy {
             m.insert("policy", policy.to_json_value());
+        }
+        if let Some(profile) = &self.profile {
+            m.insert("profile", profile.to_json_value());
+        }
+        if !self.slo.is_empty() {
+            m.insert("slo", self.slo.to_json_value());
         }
         serde::Value::Object(m)
     }
@@ -182,6 +197,8 @@ impl Deserialize for RunReport {
             decisions: opt(m, "decisions")?,
             faults: opt(m, "faults")?,
             policy: opt(m, "policy")?,
+            profile: opt(m, "profile")?,
+            slo: opt(m, "slo")?,
         })
     }
 }

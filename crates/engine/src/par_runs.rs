@@ -171,6 +171,7 @@ mod tests {
             engine: EngineConfig::default(),
             mode,
             faults: Default::default(),
+            slo: Default::default(),
         };
         // Include a faulted spec: retry/backoff bookkeeping must be as
         // schedule-independent as the clean runs.
@@ -208,6 +209,27 @@ mod tests {
         let serial = render(run_workloads(&db, &specs, 1));
         for jobs in [2, 3, 8] {
             assert_eq!(render(run_workloads(&db, &specs, jobs)), serial);
+        }
+
+        // Profiled runs stay schedule-independent on the virtual clock:
+        // each run records into its own profiler, and the virtual-time
+        // projection of the summary is byte-identical for any `--jobs`.
+        let profiled = |jobs: usize| -> Vec<String> {
+            use crate::workload::{run_workload_hooked, RunHooks};
+            use scanshare::SpanProfiler;
+            par_map(jobs, &specs, |_, spec| {
+                let profiler = SpanProfiler::default();
+                let hooks = RunHooks {
+                    profiler: Some(profiler.clone()),
+                    ..RunHooks::default()
+                };
+                run_workload_hooked(&db, spec, hooks).unwrap();
+                serde_json::to_string(&profiler.summary().virtual_only()).unwrap()
+            })
+        };
+        let profiled_serial = profiled(1);
+        for jobs in [2, 8] {
+            assert_eq!(profiled(jobs), profiled_serial);
         }
     }
 }

@@ -248,6 +248,7 @@ mod tests {
             engine: EngineConfig::default(),
             mode: SharingMode::Base,
             faults: Default::default(),
+            slo: Default::default(),
         };
         let a = run_workload(&db, &spec).unwrap();
         let b = run_workload(&loaded, &spec).unwrap();
@@ -285,6 +286,7 @@ mod tests {
                 scanshare::SharingPolicyKind::Attach,
             )),
             faults: Default::default(),
+            slo: Default::default(),
         };
         let report = run_workload(&db, &spec).unwrap();
         assert_eq!(report.policy, Some(scanshare::SharingPolicyKind::Attach));

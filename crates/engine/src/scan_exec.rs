@@ -746,6 +746,11 @@ impl ScanExec {
 
         // I/O. Under a fault plan the fetch can fail for good (permanent
         // fault or exhausted retries): that aborts this scan, not the run.
+        let prof = world.profiler.clone();
+        let fetch_span = prof
+            .as_ref()
+            .map(|p| p.begin_child("extent.fetch", now))
+            .unwrap_or_else(scanshare::SpanId::none);
         let fetched = world.fetch_extent(now, &self.scratch.ids, &mut self.scratch.pages);
         self.report_faults(world, now);
         let fetch = match fetched {
@@ -755,11 +760,22 @@ impl ScanExec {
                 addr,
                 transient,
             }) => {
+                if let Some(p) = &prof {
+                    p.attr(fetch_span, "error", "read_fault");
+                    p.attr(fetch_span, "device", device.to_string());
+                    p.end(fetch_span, now);
+                }
                 self.abort_on_fault(world, now, device, addr, transient);
                 return Ok(None);
             }
             Err(e) => return Err(e.into()),
         };
+        if let Some(p) = &prof {
+            p.attr(fetch_span, "hits", fetch.hits.to_string());
+            p.attr(fetch_span, "misses", fetch.misses.to_string());
+            p.attr(fetch_span, "requests", fetch.requests.to_string());
+            p.end(fetch_span, fetch.ready);
+        }
         self.metrics.io_wait += fetch.ready.since(now);
         self.metrics.logical_reads += self.scratch.ids.len() as u64;
         self.metrics.physical_reads += fetch.misses;
@@ -767,6 +783,10 @@ impl ScanExec {
         // CPU: evaluate the predicate, aggregate qualifiers. Row bytes
         // are borrowed straight from the pinned pool frames and fields
         // read at the pipeline's precompiled offsets.
+        let cpu_span = prof
+            .as_ref()
+            .map(|p| p.begin_child("cpu.process", fetch.ready))
+            .unwrap_or_else(scanshare::SpanId::none);
         let mut rows = 0u64;
         let width = self.schema.row_width();
         let pipe = &self.pipeline;
@@ -838,6 +858,10 @@ impl ScanExec {
         let cost = self.cpu.extent_cost(self.scratch.ids.len() as u64, rows);
         let done = world.run_cpu(fetch.ready, cost);
         self.metrics.cpu += cost;
+        if let Some(p) = &prof {
+            p.attr(cpu_span, "rows", rows.to_string());
+            p.end(cpu_span, done);
+        }
 
         // Sharing-manager update: throttle wait + release priority.
         let mut wait = SimDuration::ZERO;
@@ -850,6 +874,12 @@ impl ScanExec {
             grouped = out.role != scanshare::Role::Singleton;
             self.metrics.throttle_wait += wait;
             if wait > SimDuration::ZERO {
+                if let Some(p) = &prof {
+                    let s = p.begin_child("throttle.wait", done);
+                    p.attr(s, "wait_us", wait.as_micros().to_string());
+                    p.attr(s, "role", crate::trace::role_label(out.role).to_string());
+                    p.end(s, done + wait);
+                }
                 world.throttle_hist.record(wait.as_micros());
                 if let Some(tr) = &world.tracer {
                     tr.record(

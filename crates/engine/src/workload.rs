@@ -10,7 +10,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use scanshare::{DecisionLog, ManagerProbe, MetricsRegistry, ScanSharingManager, SharingConfig};
+use scanshare::{
+    DecisionLog, ManagerProbe, MetricsRegistry, ScanSharingManager, SharingConfig, SpanProfiler,
+    Track,
+};
 use scanshare_storage::{
     BufferPool, DiskStats, PoolConfig, PoolStats, ReplacementPolicy, ResidentPage, SimDuration,
     SimTime,
@@ -65,6 +68,11 @@ pub struct WorkloadSpec {
     /// bytes) identical to a spec without this section.
     #[serde(default)]
     pub faults: FaultsConfig,
+    /// Service-level objectives checked after the run. Defaults to no
+    /// rules, which leaves the run (and its report bytes) identical to
+    /// a spec without this section.
+    #[serde(default)]
+    pub slo: crate::slo::SloConfig,
 }
 
 /// Progress of one stream through its queries.
@@ -213,6 +221,11 @@ pub struct RunHooks {
     /// Callback invoked at every metrics-sample tick and once at the
     /// makespan, in event-loop order.
     pub observer: Option<WatchObserver>,
+    /// Span profiler threaded through the run (`engine.run`, per-extent
+    /// `scan.step` trees, manager and I/O annotations). When `None` —
+    /// the default — no span machinery runs at all and the report stays
+    /// byte-identical to pre-profiling builds.
+    pub profiler: Option<SpanProfiler>,
 }
 
 /// Decision-log capacity used when no explicit log is hooked in.
@@ -278,9 +291,16 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
         }
     };
     let observer = hooks.observer;
+    let profiler = hooks.profiler;
     let pool = BufferPool::new(PoolConfig::new(spec.pool_pages, policy));
     let mut world = ExecWorld::new(db.store(), pool, spec.engine.clone(), mgr.clone());
     world.tracer = hooks.tracer;
+    if let Some(p) = &profiler {
+        world.profiler = Some(p.clone());
+        if let Some(m) = &mgr {
+            m.attach_profiler(p.clone());
+        }
+    }
     if !spec.faults.is_empty() {
         world.enable_faults(&spec.faults);
     }
@@ -302,6 +322,10 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
     let mut makespan = SimTime::ZERO;
     let interval = spec.engine.metrics_interval;
     let mut next_sample = SimTime::ZERO + interval;
+    // The engine's root span: every scan.step tree nests beneath it.
+    let run_span = profiler
+        .as_ref()
+        .map(|p| p.begin(Track::Driver, "engine.run", SimTime::ZERO));
     while let Some(Reverse((t_us, _, i))) = heap.pop() {
         let now = SimTime::from_micros(t_us);
         if interval > SimDuration::ZERO {
@@ -315,13 +339,39 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
                 next_sample += interval;
             }
         }
-        match tasks[i].step(db, &mut world, now)? {
+        // One extent of progress = one scan.step span on the stream's
+        // track; the executor opens fetch/cpu/throttle children and the
+        // manager parents its placement instants beneath it.
+        let step_span = profiler.as_ref().map(|p| {
+            let s = p.begin(Track::Stream(i), "scan.step", now);
+            p.attr(s, "stream", i.to_string());
+            s
+        });
+        let stepped = tasks[i].step(db, &mut world, now);
+        match &stepped {
+            Ok(Some(next)) => {
+                if let (Some(p), Some(s)) = (&profiler, step_span) {
+                    p.end(s, *next);
+                }
+            }
+            // Stream finished (or the run is aborting): the step
+            // consumed no further virtual time.
+            Ok(None) | Err(_) => {
+                if let (Some(p), Some(s)) = (&profiler, step_span) {
+                    p.end(s, now);
+                }
+            }
+        }
+        match stepped? {
             Some(next) => {
                 heap.push(Reverse((next.as_micros(), seq, i)));
                 seq += 1;
             }
             None => makespan = makespan.max(now),
         }
+    }
+    if let (Some(p), Some(s)) = (&profiler, run_span) {
+        p.end(s, makespan);
     }
     // One closing sample so every series extends to the makespan.
     sample_metrics(&world, mgr.as_deref(), makespan);
@@ -364,7 +414,7 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
         .as_ref()
         .map(|t| t.records())
         .unwrap_or_default();
-    Ok(RunReport {
+    let mut report = RunReport {
         makespan: makespan.since(SimTime::ZERO),
         stream_elapsed,
         queries,
@@ -388,7 +438,15 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
         policy: world
             .sharing_policy()
             .filter(|p| *p != scanshare::SharingPolicyKind::default()),
-    })
+        // The profiler's owner embeds the summary once *its* root span
+        // closes (the engine only sees the middle of the span tree).
+        profile: None,
+        slo: Vec::new(),
+    };
+    if !spec.slo.is_empty() {
+        report.slo = crate::slo::evaluate(&spec.slo, &report);
+    }
+    Ok(report)
 }
 
 /// Assemble the [`WatchFrame`] for one sample tick.
@@ -506,6 +564,7 @@ mod tests {
             engine: EngineConfig::default(),
             mode,
             faults: Default::default(),
+            slo: Default::default(),
         }
     }
 
@@ -602,6 +661,7 @@ mod tests {
             engine: EngineConfig::default(),
             mode,
             faults: Default::default(),
+            slo: Default::default(),
         };
         let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -693,6 +753,7 @@ mod tests {
             engine: EngineConfig::default(),
             mode,
             faults: Default::default(),
+            slo: Default::default(),
         };
         let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -1067,6 +1128,129 @@ mod tests {
         );
         // And the report JSON carries no faults section at all.
         assert!(!serde_json::to_string(&a).unwrap().contains("\"faults\""));
+    }
+
+    #[test]
+    fn profiled_run_exports_a_valid_span_tree() {
+        use scanshare::obs::span::validate_chrome_trace;
+        let db = build_db();
+        // Throttling workload (fast leader + slow trailer) so the span
+        // tree covers fetch, cpu, throttle, and manager phases.
+        let fast = q6_like("fast", 0, 11);
+        let mut slow = q6_like("slow", 0, 11);
+        slow.scans[0].cpu = CpuClass::cpu_bound();
+        let streams = vec![
+            Stream {
+                queries: vec![fast],
+                start_offset: SimDuration::ZERO,
+            },
+            Stream {
+                queries: vec![slow],
+                start_offset: SimDuration::from_millis(10),
+            },
+        ];
+        let spec = spec(
+            &db,
+            streams,
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let profiler = SpanProfiler::default();
+        let r = run_workload_hooked(
+            &db,
+            &spec,
+            RunHooks {
+                profiler: Some(profiler.clone()),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap();
+        // The export is a valid Chrome trace.
+        let trace = profiler.perfetto();
+        validate_chrome_trace(&trace).expect("valid chrome trace");
+        // The root engine.run span covers the whole makespan, and the
+        // expected phases all appear.
+        let sum = profiler.summary();
+        let run = sum.phases.iter().find(|p| p.name == "engine.run").unwrap();
+        assert_eq!(run.vt_incl_us, r.makespan.as_micros());
+        for phase in ["scan.step", "extent.fetch", "cpu.process", "throttle.wait"] {
+            assert!(
+                sum.phases.iter().any(|p| p.name == phase),
+                "missing phase {phase}"
+            );
+        }
+        let records = profiler.records();
+        assert!(records.iter().any(|s| s.name == "mgr.place"));
+        assert!(records.iter().any(|s| s.name == "io.miss"
+            && s.attrs.iter().any(|(k, _)| k == "device")
+            && s.attrs.iter().any(|(k, _)| k == "seek_distance_pages")));
+        // Virtual exclusive time measures aggregate stream-seconds: with
+        // concurrently simulated streams it meets or exceeds the
+        // makespan. Wall-clock exclusive time partitions the recording
+        // exactly (the event loop is single-threaded on the host).
+        let excl: u64 = sum.phases.iter().map(|p| p.vt_excl_us).sum();
+        assert!(excl >= sum.total_vt_us, "{excl} < {}", sum.total_vt_us);
+        let wall = sum.wall.as_ref().unwrap();
+        let wall_excl: u64 = wall.phases.iter().map(|p| p.excl_ns).sum();
+        assert_eq!(wall_excl, wall.total_ns);
+        // The run itself reports no profile section (the profiler's
+        // owner embeds it) and the profiled run's report matches an
+        // unprofiled one byte for byte.
+        let plain = run_workload(&db, &spec).unwrap();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&r).unwrap(),
+            "profiling must not perturb the report"
+        );
+    }
+
+    #[test]
+    fn unprofiled_report_has_no_profile_or_slo_section() {
+        let db = build_db();
+        let q = q6_like("Q6", 0, 5);
+        let spec = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        let json = serde_json::to_string(&run_workload(&db, &spec).unwrap()).unwrap();
+        assert!(!json.contains("\"profile\""));
+        assert!(!json.contains("\"slo\""));
+    }
+
+    #[test]
+    fn slo_rules_are_evaluated_into_the_report() {
+        use crate::slo::{SloOp, SloRule};
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let mut s = spec(
+            &db,
+            three_staggered(&q),
+            SharingMode::ScanSharing(SharingConfig::new(0)),
+        );
+        s.slo.rules = vec![
+            SloRule {
+                name: "pool locality".into(),
+                metric: "hit_ratio".into(),
+                op: SloOp::Ge,
+                value: 0.01,
+            },
+            SloRule {
+                name: "impossible".into(),
+                metric: "hit_ratio".into(),
+                op: SloOp::Ge,
+                value: 2.0,
+            },
+        ];
+        let r = run_workload(&db, &s).unwrap();
+        assert_eq!(r.slo.len(), 2);
+        assert!(r.slo[0].passed);
+        assert!(!r.slo[1].passed);
+        assert_eq!(r.slo[0].observed, r.pool.hit_ratio());
+        // The section round-trips through the report JSON.
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"slo\""));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slo, r.slo);
     }
 
     #[test]

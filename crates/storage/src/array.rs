@@ -38,6 +38,13 @@ impl DiskArray {
         self.disks.len() as u32
     }
 
+    /// The disk (device index) physical address `addr` routes to — the
+    /// same routing [`DiskArray::read`] uses, exposed so observability
+    /// layers can tag miss I/O with its device.
+    pub fn device_of(&self, addr: u64) -> u32 {
+        self.disk_of(addr) as u32
+    }
+
     fn disk_of(&self, addr: u64) -> usize {
         ((addr / self.stripe_pages) % self.disks.len() as u64) as usize
     }

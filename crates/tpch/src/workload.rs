@@ -31,6 +31,7 @@ pub fn staggered_workload(
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     }
 }
 
@@ -55,6 +56,7 @@ pub fn throughput_workload(
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     }
 }
 

@@ -58,6 +58,7 @@ fn main() {
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");

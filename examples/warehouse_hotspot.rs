@@ -73,6 +73,7 @@ fn main() {
         engine: Default::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     };
 
     let base = run_workload(&db, &spec(SharingMode::Base)).expect("base");

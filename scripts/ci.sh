@@ -27,6 +27,28 @@ cargo test --offline --workspace -q
 echo "== perf-regression gate (smoke baseline) =="
 scripts/bench_gate.sh results/baseline_smoke.json
 
+echo "== default-report byte identity (committed artifact) =="
+# A default (unprofiled, SLO-less) run's report must serialize to
+# exactly the committed bytes: observability features are opt-in and
+# may not perturb the deterministic report by a single byte.
+report_out=$(mktemp)
+cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke.json --report-out "$report_out" >/dev/null
+if ! cmp -s "$report_out" results/policy_grouping_smoke_report.json; then
+    echo "FAIL: default run report drifted from results/policy_grouping_smoke_report.json"
+    rm -f "$report_out"
+    exit 1
+fi
+rm -f "$report_out"
+echo "report byte-identical to committed artifact"
+
+echo "== span-profiler smoke (informational, not gated) =="
+# Record and render a fresh profile of the built-in smoke run: exercises
+# the span subsystem end-to-end (begin/end nesting, Perfetto export
+# validity is tested in the suite; this prints the per-phase table for
+# the log).
+cargo run --offline --release -q -p scanshare-cli --bin scanshare -- profile --smoke
+
 echo "== fault-matrix smoke (empty plan must be a no-op) =="
 # The fault-injection layer must be pay-for-what-you-use: gating the
 # smoke pair under the canned *empty* plan has to reproduce the

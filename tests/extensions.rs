@@ -51,6 +51,7 @@ fn ordered_scans_never_join() {
         engine: EngineConfig::default(),
         mode: SharingMode::ScanSharing(SharingConfig::new(0)),
         faults: Default::default(),
+        slo: Default::default(),
     };
     let r = run_workload(&db, &w).unwrap();
     // The manager never even saw the scans.
@@ -82,6 +83,7 @@ fn attach_baseline_trails_full_sharing_on_mixed_speeds() {
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     };
     let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
     let attach = run_workload(
@@ -130,6 +132,7 @@ fn dynamic_fairness_throttles_high_priority_queries_less() {
                 ..SharingConfig::new(0)
             }),
             faults: Default::default(),
+            slo: Default::default(),
         };
         let r = run_workload(&db, &w).unwrap();
         r.queries
@@ -293,6 +296,7 @@ fn rid_scans_share_end_to_end() {
         engine: EngineConfig::default(),
         mode,
         faults: Default::default(),
+        slo: Default::default(),
     };
     let base = run_workload(&db, &mk(SharingMode::Base)).unwrap();
     let ss = run_workload(&db, &mk(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();

@@ -74,6 +74,7 @@ fn sharing_is_answer_preserving_and_io_monotone() {
             engine: EngineConfig::default(),
             mode,
             faults: Default::default(),
+            slo: Default::default(),
         };
         let base = run_workload(&db, &spec(SharingMode::Base)).unwrap();
         let ss = run_workload(&db, &spec(SharingMode::ScanSharing(SharingConfig::new(0)))).unwrap();
@@ -136,6 +137,7 @@ fn fault_injection_is_deterministic_and_answer_preserving() {
             engine: EngineConfig::default(),
             mode: SharingMode::ScanSharing(SharingConfig::new(0)),
             faults,
+            slo: Default::default(),
         };
         let clean = run_workload(&db, &spec(FaultsConfig::default())).unwrap();
         let cfg = FaultsConfig {
