@@ -54,6 +54,21 @@ pub struct WallSection {
     pub jobs: u64,
 }
 
+/// Who wrote a baseline, and when: stamped by `bench_gate
+/// --write-baseline` (and therefore `scripts/bench_gate.sh
+/// --rebaseline`) so future diffs can say what a baseline came from.
+/// Purely informational — [`compare`] never reads it, and baselines
+/// written before the section existed still parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Git commit of the tree the baseline was measured on.
+    pub git_sha: String,
+    /// ISO-8601 UTC timestamp of the rebaseline.
+    pub recorded_at: String,
+    /// Worker threads the measuring run used.
+    pub jobs: u64,
+}
+
 /// A committed performance baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GateBaseline {
@@ -65,6 +80,10 @@ pub struct GateBaseline {
     /// ignored by [`compare`].
     #[serde(default)]
     pub wall: Option<WallSection>,
+    /// Who/when/how the baseline was written; absent in older baselines
+    /// and ignored by [`compare`].
+    #[serde(default)]
+    pub provenance: Option<Provenance>,
 }
 
 /// One metric's comparison against the baseline.
@@ -241,6 +260,7 @@ mod tests {
                 metric("hit", 80.0, Better::Higher, 10.0),
             ],
             wall: None,
+            provenance: None,
         }
     }
 
@@ -299,6 +319,7 @@ mod tests {
             description: "neg".into(),
             metrics: vec![metric("gain", -10.0, Better::Higher, 10.0)],
             wall: None,
+            provenance: None,
         };
         assert!(!has_regression(&compare(
             &b,
@@ -338,6 +359,27 @@ mod tests {
         });
         let json = serde_json::to_string(&with).unwrap();
         assert!(json.contains("pages_per_wall_sec"), "got: {json}");
+        let back: GateBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with);
+        let same_metrics = with.metrics.clone();
+        assert!(!has_regression(&compare(&with, &same_metrics)));
+    }
+
+    #[test]
+    fn provenance_is_optional_round_trips_and_is_never_gated() {
+        // Pre-provenance baselines still parse.
+        let legacy = r#"{"description": "old", "metrics": []}"#;
+        let b: GateBaseline = serde_json::from_str(legacy).unwrap();
+        assert!(b.provenance.is_none());
+        // A stamped baseline round-trips and never changes a verdict.
+        let mut with = baseline();
+        with.provenance = Some(Provenance {
+            git_sha: "ba0b607aaaaa".into(),
+            recorded_at: "2026-08-09T12:00:00Z".into(),
+            jobs: 2,
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("recorded_at"), "got: {json}");
         let back: GateBaseline = serde_json::from_str(&json).unwrap();
         assert_eq!(back, with);
         let same_metrics = with.metrics.clone();

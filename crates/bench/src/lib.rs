@@ -23,7 +23,9 @@
 //! and seed via `SCANSHARE_SEED` (default 42).
 
 pub mod gate;
+pub mod history;
 pub mod micro;
+pub mod stats;
 
 use scanshare::SharingConfig;
 use scanshare_engine::{run_workload, Database, RunReport, SharingMode, WorkloadSpec};
@@ -125,6 +127,7 @@ pub fn run_pair(db: &Database, base: &WorkloadSpec, ss: &WorkloadSpec) -> (RunRe
     );
     record_metrics("base", &rb);
     record_metrics("scan-sharing", &rs);
+    record_history(&rb, &rs);
     (rb, rs)
 }
 
@@ -181,6 +184,66 @@ pub fn record_metrics(label: &str, report: &RunReport) {
             }
         }
         Err(e) => eprintln!("metrics serialize failed: {e}"),
+    }
+}
+
+/// Extract `--history PATH` from an argument vector.
+pub fn history_out_from(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The run-history ledger path, resolved once per process:
+/// `--history` beats `SCANSHARE_HISTORY`. Unlike the metrics sink the
+/// ledger is append-only — it accumulates trajectory across
+/// invocations, so it is never truncated here.
+fn history_out_file() -> Option<&'static str> {
+    static PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let argv: Vec<String> = std::env::args().collect();
+        history_out_from(&argv).or_else(|| std::env::var("SCANSHARE_HISTORY").ok())
+    })
+    .as_deref()
+}
+
+/// Append a [`history::HistoryEntry`] for a base/scan-sharing pair to
+/// the `--history` (or `SCANSHARE_HISTORY`) ledger — a no-op when none
+/// is configured. The entry carries the same 8 virtual-clock metrics
+/// the CI gate pins, stamped with the producing binary's name and the
+/// working tree's git SHA, so every `exp_*` sweep can feed the same
+/// trajectory `scanshare history` renders.
+pub fn record_history(base: &RunReport, ss: &RunReport) {
+    let Some(path) = history_out_file() else {
+        return;
+    };
+    let source = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let entry = history::HistoryEntry {
+        git_sha: history::git_sha(),
+        recorded_at: history::utc_now_iso(),
+        source,
+        policy: ss.policy.map(|p| p.to_string()),
+        faults: None,
+        metrics: gate::collect_metrics(base, ss)
+            .into_iter()
+            .map(|m| history::MetricSample {
+                name: m.name,
+                value: m.value,
+            })
+            .collect(),
+        wall: None,
+    };
+    match history::append(path, &entry) {
+        Ok(()) => eprintln!("  history entry appended to {path}"),
+        Err(e) => eprintln!("history append failed: {e}"),
     }
 }
 

@@ -20,7 +20,9 @@ use scanshare_engine::{
 use scanshare_tpch::{generate, q1, q6, staggered_workload, throughput_workload, TpchConfig};
 use serde::{Deserialize, Serialize};
 
+pub mod diff;
 pub mod explain;
+pub mod history;
 pub mod profile;
 pub mod render;
 pub mod watch;
@@ -122,6 +124,15 @@ pub enum Command {
         runs: usize,
         jobs: usize,
     },
+    /// `history [--ledger FILE] [--metric NAME] [--last K] [--json]
+    /// [--check [--strict]] [--window K]`: render a run-history ledger
+    /// as per-metric trend tables with sparklines; `--check` validates
+    /// the ledger and runs the wall-time change-point check.
+    History(history::HistoryOptions),
+    /// `diff A.json B.json [--json]`: structural diff of two saved
+    /// RunReports — headline deltas, per-scan stretch movement, group
+    /// lifetimes, series endpoints, SLO flips, fault deltas.
+    Diff { a: String, b: String, json: bool },
     /// `generate --scale S --seed X --out FILE`
     Generate { scale: f64, seed: u64, out: String },
     /// `spec-template`
@@ -295,6 +306,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             runs: parse_flag(args, "--runs", 2)?,
             jobs: parse_flag(args, "--jobs", 1)?,
         }),
+        "history" => Ok(Command::History(history::HistoryOptions {
+            ledger: parse_flag(args, "--ledger", history::HistoryOptions::default().ledger)?,
+            metric: flag_value(args, "--metric").map(String::from),
+            last: parse_flag(args, "--last", 0)?,
+            json: args.iter().any(|a| a == "--json"),
+            check: args.iter().any(|a| a == "--check"),
+            strict: args.iter().any(|a| a == "--strict"),
+            window: parse_flag(args, "--window", scanshare_bench::stats::DEFAULT_WINDOW)?,
+        })),
+        "diff" => {
+            // Two positional report paths; flags may appear anywhere.
+            let mut files = Vec::new();
+            for a in &args[1..] {
+                if a == "--json" {
+                    continue;
+                }
+                if a.starts_with("--") {
+                    return Err(UsageError(format!("unknown flag '{a}' for diff")));
+                }
+                files.push(a.clone());
+            }
+            let [a, b] = files.as_slice() else {
+                return Err(UsageError(
+                    "diff requires exactly two report files: diff A.json B.json".into(),
+                ));
+            };
+            Ok(Command::Diff {
+                a: a.clone(),
+                b: b.clone(),
+                json: args.iter().any(|x| x == "--json"),
+            })
+        }
         "generate" => Ok(Command::Generate {
             scale: parse_flag(args, "--scale", 0.5)?,
             seed: parse_flag(args, "--seed", 42)?,
@@ -378,6 +421,27 @@ USAGE:
       copies of the base and scan-sharing throughput runs fanned over
       J worker threads. Prints wall time and simulated pages per
       wall-second; simulated results are bit-identical for any J.
+  scanshare history [--ledger FILE] [--metric NAME] [--last K] [--json]
+                    [--check] [--strict] [--window K]
+      Render a run-history ledger (default results/history.jsonl,
+      written by `bench_gate --history`) as per-metric trend tables:
+      one sparkline row per recorded metric, oldest entry first, plus
+      wall_ms.median / pages_per_wall_sec.median pseudo-metrics.
+      --metric narrows to one metric, --last to the newest K entries,
+      --json emits the trend data as JSON. --check validates every
+      ledger line (exit 2 on a malformed ledger) and runs the
+      trailing-window change-point check on the wall medians — the
+      newest entry against the pooled bootstrap 95% CI of the --window
+      entries before it. The verdict is informational unless --strict
+      promotes a flagged trend to exit 1.
+  scanshare diff A.json B.json [--json]
+      Structural diff of two saved RunReports: headline counter deltas
+      (makespan, reads, seeks, hit ratio), per-query stretch movement
+      matched by (stream, name, occurrence), sharing-group lifetimes
+      that appeared/vanished/shifted, sampled-series endpoints, SLO
+      verdict flips, fault-summary deltas, and the policy pair.
+      Exits like cmp: 0 when structurally identical, 1 when the
+      reports differ, 2 on unreadable input.
   scanshare generate [--scale S] [--seed X] --out FILE
       Generate the TPC-H-like database once and save it for reuse.
   scanshare spec-template
@@ -692,6 +756,42 @@ pub fn execute(cmd: Command) -> i32 {
                     eprintln!("{e}");
                     1
                 }
+            }
+        }
+        Command::History(opts) => history::run_history(&opts),
+        Command::Diff { a, b, json } => {
+            let ra = match load_report(&a) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            let rb = match load_report(&b) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            let d = diff::compute_diff(&ra, &rb);
+            if json {
+                // Keep stdout pure JSON; the one-line verdict goes to
+                // stderr so `... --json | jq` just works.
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&d).expect("diff serializes")
+                );
+                eprintln!("{}", d.summary_line());
+            } else {
+                print!("{}", render::render_report_diff(&a, &b, &d));
+                println!("{}", d.summary_line());
+            }
+            // Like cmp/diff: 0 identical, 1 different, 2 trouble.
+            if d.is_zero() {
+                0
+            } else {
+                1
             }
         }
         Command::Generate { scale, seed, out } => {
@@ -1226,6 +1326,50 @@ mod tests {
         assert!(msg.contains("invalid spec bad.json"), "got: {msg}");
         assert!(msg.contains("optional \"faults\" section"), "got: {msg}");
         assert!(msg.contains("spec-template"), "got: {msg}");
+    }
+
+    #[test]
+    fn parses_history_and_diff() {
+        assert_eq!(
+            parse_args(&args("history")).unwrap(),
+            Command::History(history::HistoryOptions::default())
+        );
+        assert_eq!(
+            parse_args(&args(
+                "history --ledger l.jsonl --metric wall_ms.median --last 5 \
+                 --json --check --strict --window 4"
+            ))
+            .unwrap(),
+            Command::History(history::HistoryOptions {
+                ledger: "l.jsonl".into(),
+                metric: Some("wall_ms.median".into()),
+                last: 5,
+                json: true,
+                check: true,
+                strict: true,
+                window: 4,
+            })
+        );
+        assert_eq!(
+            parse_args(&args("diff a.json b.json --json")).unwrap(),
+            Command::Diff {
+                a: "a.json".into(),
+                b: "b.json".into(),
+                json: true,
+            }
+        );
+        // diff wants exactly two positional files and no stray flags.
+        assert!(parse_args(&args("diff a.json")).is_err());
+        assert!(parse_args(&args("diff a.json b.json c.json")).is_err());
+        assert!(parse_args(&args("diff a.json b.json --frob")).is_err());
+        assert!(parse_args(&args("history --last nope")).is_err());
+    }
+
+    #[test]
+    fn usage_documents_history_and_diff() {
+        assert!(USAGE.contains("scanshare history"));
+        assert!(USAGE.contains("scanshare diff A.json B.json"));
+        assert!(USAGE.contains("change-point"));
     }
 
     #[test]

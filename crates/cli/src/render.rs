@@ -86,6 +86,13 @@ const BUCKET_BAR: usize = 24;
 /// p50/p90/p95/p99, then every non-empty power-of-two bucket with its
 /// inclusive upper bound and a count bar.
 fn render_histogram_quantiles(out: &mut String, h: &HistogramSnapshot) {
+    // An empty histogram has no quantiles: say so instead of printing
+    // p50..p99 rows of misleading zeros (and never divide by a zero
+    // peak below).
+    if h.count == 0 {
+        out.push_str("    quantiles   n=0 (no samples recorded)\n");
+        return;
+    }
     out.push_str(&format!(
         "    quantiles   p50 {:>9}  p90 {:>9}  p95 {:>9}  p99 {:>9}\n",
         h.quantile(0.50),
@@ -100,6 +107,8 @@ fn render_histogram_quantiles(out: &mut String, h: &HistogramSnapshot) {
         } else {
             b.le.to_string()
         };
+        // A single-bucket (degenerate) histogram owns the peak, so its
+        // bar renders full-width rather than dividing to nothing.
         let bar = "#".repeat(((b.count * BUCKET_BAR as u64) / peak).max(1) as usize);
         out.push_str(&format!("    le {le:>12} {:>10}  {bar}\n", b.count));
     }
@@ -167,6 +176,127 @@ pub fn render_metrics_detailed(report: &RunReport, quantiles: bool) -> String {
         end_us,
     );
     render_series_block(&mut out, "system series", &rest, end_us);
+    out
+}
+
+/// Render a [`crate::diff::ReportDiff`] for humans: the headline table always, then
+/// only the sections that actually moved.
+pub fn render_report_diff(a: &str, b: &str, d: &crate::diff::ReportDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== report diff: {a} -> {b} ==\n"));
+    out.push_str(&format!(
+        "  {:<20} {:>16} {:>16} {:>14} {:>9}\n",
+        "metric", "A", "B", "delta", "%"
+    ));
+    for h in &d.headline {
+        out.push_str(&format!(
+            "  {:<20} {:>16.2} {:>16.2} {:>+14.2} {:>+8.2}%\n",
+            h.name,
+            h.a,
+            h.b,
+            h.delta,
+            h.pct()
+        ));
+    }
+    if d.policy_a != d.policy_b {
+        let fmt = |p: &Option<String>| p.clone().unwrap_or_else(|| "default".to_string());
+        out.push_str(&format!(
+            "  policy: {} -> {}\n",
+            fmt(&d.policy_a),
+            fmt(&d.policy_b)
+        ));
+    }
+    if !d.scans.is_empty() {
+        out.push_str(&format!(
+            "\n== per-query stretch ({} changed, {} only in A, {} only in B) ==\n",
+            d.scans.len() - d.scans_only_a - d.scans_only_b,
+            d.scans_only_a,
+            d.scans_only_b,
+        ));
+        for s in &d.scans {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<8} stream {:<3} #{:<3} {:>8} -> {:>8}  ({:+.3})\n",
+                s.name,
+                s.stream,
+                s.occurrence,
+                fmt(s.stretch_a),
+                fmt(s.stretch_b),
+                s.delta,
+            ));
+        }
+    }
+    if !d.groups.is_empty() {
+        out.push_str(&format!("\n== group lifetimes ({}) ==\n", d.groups.len()));
+        for g in &d.groups {
+            let fmt = |l: &Option<crate::diff::GroupLifetime>| match l {
+                Some(l) => format!(
+                    "[{:.3}s .. {:.3}s, {} pts]",
+                    secs(l.first_us),
+                    secs(l.last_us),
+                    l.points
+                ),
+                None => "absent".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<28} {} -> {}\n",
+                g.name,
+                fmt(&g.a),
+                fmt(&g.b)
+            ));
+        }
+    }
+    if !d.series.is_empty() {
+        out.push_str(&format!("\n== series endpoints ({}) ==\n", d.series.len()));
+        for s in &d.series {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "absent".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<28} last {:>10} -> {:>10}   pts {:>4} -> {:>4}\n",
+                s.name,
+                fmt(s.last_a),
+                fmt(s.last_b),
+                s.points_a,
+                s.points_b,
+            ));
+        }
+    }
+    if !d.slo.is_empty() {
+        out.push_str(&format!("\n== SLO verdicts ({}) ==\n", d.slo.len()));
+        for s in &d.slo {
+            let verdict = |p: Option<bool>| match p {
+                Some(true) => "PASS",
+                Some(false) => "FAIL",
+                None => "absent",
+            };
+            let obs = |o: Option<f64>| match o {
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<16} {} -> {}  observed {} -> {}\n",
+                s.rule,
+                verdict(s.passed_a),
+                verdict(s.passed_b),
+                obs(s.observed_a),
+                obs(s.observed_b),
+            ));
+        }
+    }
+    if !d.faults.is_empty() {
+        out.push_str(&format!("\n== fault counters ({}) ==\n", d.faults.len()));
+        for f in &d.faults {
+            out.push_str(&format!(
+                "  {:<20} {:>10.0} -> {:>10.0}  ({:+.0})\n",
+                f.name, f.a, f.b, f.delta
+            ));
+        }
+    }
     out
 }
 
@@ -269,6 +399,38 @@ mod tests {
         assert!(out.contains(&format!("le {:>12}", 15)), "got: {out}");
         assert!(out.contains('#'), "got: {out}");
         assert_eq!(out.matches("    le ").count(), snap.buckets.len());
+    }
+
+    #[test]
+    fn quantile_expansion_of_empty_histogram_reports_no_samples() {
+        use scanshare::obs::Histogram;
+        // A histogram that never recorded must say n=0, not print
+        // misleading p50..p99 zeros or divide by an empty peak.
+        let snap = Histogram::default().snapshot("never.recorded_us");
+        let mut out = String::new();
+        render_histogram_quantiles(&mut out, &snap);
+        assert!(out.contains("n=0"), "got: {out}");
+        assert!(!out.contains("p50"), "got: {out}");
+        assert!(!out.contains("    le "), "got: {out}");
+        assert!(!out.contains("NaN"), "got: {out}");
+    }
+
+    #[test]
+    fn quantile_expansion_of_single_bucket_histogram_is_degenerate_bar() {
+        use scanshare::obs::Histogram;
+        // All samples in one bucket: every quantile is that value and
+        // the single bucket renders a full-width bar.
+        let h = Histogram::default();
+        for _ in 0..4 {
+            h.record(100);
+        }
+        let snap = h.snapshot("constant_us");
+        let mut out = String::new();
+        render_histogram_quantiles(&mut out, &snap);
+        assert!(out.contains(&format!("p50 {:>9}", 100)), "got: {out}");
+        assert!(out.contains(&format!("p99 {:>9}", 100)), "got: {out}");
+        assert_eq!(out.matches("    le ").count(), 1, "got: {out}");
+        assert!(out.contains(&"#".repeat(BUCKET_BAR)), "got: {out}");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! End-to-end tests of `scanshare diff`: exit-code contract (0 =
+//! structurally identical, 1 = reports differ, 2 = unreadable input)
+//! and the one-line summary that scripts parse.
+
+use scanshare::SharingConfig;
+use scanshare_engine::{run_workload, SharingMode};
+use scanshare_tpch::{generate, throughput_workload, TpchConfig};
+use std::process::Command;
+
+/// Save a tiny smoke report (base or sharing mode) to a temp file.
+fn save_smoke(mode: SharingMode, tag: &str) -> String {
+    let tpch = TpchConfig::tiny();
+    let db = generate(&tpch);
+    let w = throughput_workload(&db, 2, tpch.months as i64, tpch.seed, mode);
+    let r = run_workload(&db, &w).expect("smoke run");
+    let path =
+        std::env::temp_dir().join(format!("scanshare_diff_{tag}_{}.json", std::process::id()));
+    let path = path.to_str().unwrap().to_string();
+    scanshare_engine::persist::save_report(&r, &path).expect("report saves");
+    path
+}
+
+fn run_diff(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .arg("diff")
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn self_diff_is_exit_0_with_all_zero_deltas() {
+    let a = save_smoke(SharingMode::ScanSharing(SharingConfig::new(0)), "self");
+    let (code, stdout, _) = run_diff(&[&a, &a]);
+    std::fs::remove_file(&a).ok();
+    assert_eq!(code, Some(0), "stdout: {stdout}");
+    // Every headline row renders a zero delta, and the one-line summary
+    // says so.
+    assert!(stdout.contains("makespan_us"), "got: {stdout}");
+    assert!(stdout.contains("+0.00"), "got: {stdout}");
+    let last = stdout.lines().last().unwrap_or("");
+    assert!(last.contains("reports identical"), "got: {last}");
+}
+
+#[test]
+fn changed_reports_are_exit_1_with_one_line_summary() {
+    let a = save_smoke(SharingMode::Base, "base");
+    let b = save_smoke(SharingMode::ScanSharing(SharingConfig::new(0)), "ss");
+    let (code, stdout, _) = run_diff(&[&a, &b]);
+    let (jcode, jout, _) = run_diff(&[&a, &b, "--json"]);
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    assert_eq!(code, Some(1), "stdout: {stdout}");
+    // Scan sharing reads fewer pages than base on this workload: the
+    // pages_read row must show a negative delta.
+    let pages = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("pages_read"))
+        .expect("pages_read row");
+    assert!(pages.contains('-'), "got: {pages}");
+    // Sharing emits group series the base run lacks.
+    assert!(stdout.contains("group."), "got: {stdout}");
+    let last = stdout.lines().last().unwrap_or("");
+    assert!(last.starts_with("reports differ"), "got: {last}");
+    // --json keeps the exit code, emits pure JSON on stdout (the
+    // verdict line moves to stderr).
+    assert_eq!(jcode, Some(1));
+    assert!(jout.trim_end().ends_with('}'), "got tail: {jout}");
+    assert!(jout.trim_start().starts_with('{'), "got head: {jout}");
+}
+
+#[test]
+fn unreadable_input_is_exit_2() {
+    let (code, _, stderr) = run_diff(&["no_such_a.json", "no_such_b.json"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("no_such_a.json"), "got: {stderr}");
+}

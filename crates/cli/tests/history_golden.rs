@@ -1,0 +1,85 @@
+//! Golden-file test for `scanshare history`: rendering the committed
+//! fixture ledger must produce byte-identical output to the committed
+//! fixture render. The ledger is frozen data and the renderer takes no
+//! host input, so any drift is a real (intentional or not) format
+//! change — regenerate the fixture alongside it:
+//!
+//! ```sh
+//! cargo run -q -p scanshare-cli --bin scanshare -- \
+//!     history --ledger results/history.jsonl \
+//!     > crates/cli/tests/fixtures/history_render.txt
+//! ```
+
+use std::process::Command;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn history_render_matches_committed_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .args(["history", "--ledger", &repo_path("results/history.jsonl")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let got = String::from_utf8(out.stdout).expect("utf8 output");
+    let want = std::fs::read_to_string(repo_path("crates/cli/tests/fixtures/history_render.txt"))
+        .expect("committed fixture exists");
+    assert_eq!(
+        got, want,
+        "history render drifted from the committed fixture — if the \
+         format change is intentional, regenerate the fixture (see the \
+         header of this test file)"
+    );
+}
+
+#[test]
+fn history_check_of_committed_ledger_is_informational_ok() {
+    // --check validates every line and runs the change-point check;
+    // without --strict it must exit 0 regardless of the trend verdict.
+    let out = Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .args([
+            "history",
+            "--ledger",
+            &repo_path("results/history.jsonl"),
+            "--check",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ledger valid"), "got: {stderr}");
+}
+
+#[test]
+fn malformed_ledger_is_exit_2_with_line_number() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("scanshare_bad_ledger_{}.jsonl", std::process::id()));
+    std::fs::write(&path, "{not json}\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .args(["history", "--ledger", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "got: {stderr}");
+}
+
+#[test]
+fn unknown_metric_is_exit_2_and_names_the_alternatives() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scanshare"))
+        .args([
+            "history",
+            "--ledger",
+            &repo_path("results/history.jsonl"),
+            "--metric",
+            "no_such_metric",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ss_makespan_us"), "got: {stderr}");
+}

@@ -10,10 +10,14 @@
 #   scripts/bench_gate.sh path/to/other.json # gate against another baseline
 #   scripts/bench_gate.sh --rebaseline       # intentionally re-pin the baseline
 #
-# Extra arguments after the baseline are forwarded to the gate binary,
-# e.g. a fault plan for the robustness matrix:
+# Extra arguments after the baseline (or after --rebaseline) are
+# forwarded to the gate binary, e.g. a fault plan for the robustness
+# matrix, or replication/ledger flags for the trend machinery:
 #   scripts/bench_gate.sh results/baseline_smoke.json \
 #       --faults results/fault_plans/transient_1pct.json
+#   scripts/bench_gate.sh results/baseline_smoke.json \
+#       --reps 5 --history results/history.jsonl
+#   scripts/bench_gate.sh --rebaseline --reps 5
 #
 # Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
 set -euo pipefail
@@ -22,8 +26,9 @@ cd "$(dirname "$0")/.."
 BASELINE="${1:-results/baseline_smoke.json}"
 
 if [[ "${1:-}" == "--rebaseline" ]]; then
+    shift
     exec cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
-        --write-baseline results/baseline_smoke.json
+        --write-baseline results/baseline_smoke.json "$@"
 fi
 
 if [[ ! -f "$BASELINE" ]]; then

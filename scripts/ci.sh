@@ -42,6 +42,27 @@ fi
 rm -f "$report_out"
 echo "report byte-identical to committed artifact"
 
+echo "== run-history trend (informational, not gated) =="
+# Exercise the observability-ledger path end-to-end: a replicated gate
+# run appends to a throwaway ledger (3 reps, virtual metrics asserted
+# bit-identical, wall medians bootstrap-summarized), then the history
+# renderer validates the committed fixture ledger and runs the
+# change-point check on it. Neither step gates: wall time is host noise
+# (promote with --trend-gate / --strict once a deployment has a stable
+# ledger).
+trend_ledger=$(mktemp)
+cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke.json --reps 3 --history "$trend_ledger" >/dev/null
+entries=$(wc -l < "$trend_ledger")
+if [ "$entries" -ne 1 ]; then
+    echo "FAIL: replicated gate run appended $entries ledger entries (expected 1)"
+    rm -f "$trend_ledger"
+    exit 1
+fi
+rm -f "$trend_ledger"
+cargo run --offline --release -q -p scanshare-cli --bin scanshare -- \
+    history --ledger results/history.jsonl --check
+
 echo "== span-profiler smoke (informational, not gated) =="
 # Record and render a fresh profile of the built-in smoke run: exercises
 # the span subsystem end-to-end (begin/end nesting, Perfetto export
