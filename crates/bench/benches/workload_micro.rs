@@ -53,6 +53,40 @@ fn main() {
         );
     }
 
+    // fetch_extent delivery micro: a 4-consumer group scanning the same
+    // key range, pull vs push. Pull has every consumer fix its own copy
+    // of each page (~4 fixes/page); push has one group driver fix each
+    // page once and hand a borrowed view to all four row pipelines
+    // (~1 fix/page). The push run's own summary supplies the group's
+    // distinct page count, which prices the pull run's fixes exactly —
+    // both runs are deterministic replays of the same workload.
+    let mut push_cfg = SharingConfig::new(0);
+    push_cfg.delivery = scanshare::DeliveryMode::Push;
+    let group = |mode: SharingMode| staggered_workload(&db, &q, 4, SimDuration::ZERO, mode);
+    let push_spec = group(SharingMode::ScanSharing(push_cfg.clone()));
+    let push_report = run_workload(&db, &push_spec).unwrap();
+    let ps = push_report.push.as_ref().expect("push summary");
+    let group_pages = ps.pages_delivered.max(1);
+    for (name, mode) in [
+        ("pull", SharingMode::ScanSharing(SharingConfig::new(0))),
+        ("push", SharingMode::ScanSharing(push_cfg)),
+    ] {
+        let spec = group(mode);
+        bench(&format!("group4_fetch_extent/{name}"), || {
+            black_box(run_workload(&db, &spec).unwrap());
+        });
+        let r = run_workload(&db, &spec).unwrap();
+        let fixes_per_page = match &r.push {
+            Some(s) => s.fixes_per_page(),
+            None => r.pool.logical_reads as f64 / group_pages as f64,
+        };
+        println!(
+            "group4_fetch_extent/{name:<21} {fixes_per_page:>12.3} pool fixes / distinct page \
+             ({} fixes over {group_pages} pages)",
+            r.pool.logical_reads
+        );
+    }
+
     bench("tpch_generate/tiny", || {
         black_box(generate(&cfg));
     });

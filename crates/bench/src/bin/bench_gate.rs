@@ -20,7 +20,7 @@
 //! Exit codes: 0 = pass, 1 = regression (or rep divergence, or a
 //! flagged trend under `--trend-gate`), 2 = usage or I/O error.
 
-use scanshare::SharingConfig;
+use scanshare::{DeliveryMode, SharingConfig};
 use scanshare_bench::gate::{
     collect_metrics, compare, has_regression, render_diffs, GateBaseline, Provenance, WallSection,
 };
@@ -38,10 +38,16 @@ fn smoke_config() -> TpchConfig {
     TpchConfig::tiny()
 }
 
-fn smoke_description(cfg: &TpchConfig) -> String {
+fn smoke_description(cfg: &TpchConfig, delivery: DeliveryMode) -> String {
     format!(
-        "{SMOKE_STREAMS}-stream throughput smoke, scale {}, seed {}",
-        cfg.scale, cfg.seed
+        "{SMOKE_STREAMS}-stream throughput smoke, scale {}, seed {}{}",
+        cfg.scale,
+        cfg.seed,
+        if delivery.is_pull() {
+            ""
+        } else {
+            ", push delivery"
+        }
     )
 }
 
@@ -55,24 +61,31 @@ struct SmokeRuns {
     wall_stats: WallStats,
 }
 
-fn run_smoke_pair(jobs: usize, faults: &FaultsConfig, reps: usize) -> Result<SmokeRuns, String> {
+fn run_smoke_pair(
+    jobs: usize,
+    faults: &FaultsConfig,
+    reps: usize,
+    delivery: DeliveryMode,
+) -> Result<SmokeRuns, String> {
     let cfg = smoke_config();
     let db = generate(&cfg);
     let months = cfg.months as i64;
     let mut base_spec =
         throughput_workload(&db, SMOKE_STREAMS, months, cfg.seed, SharingMode::Base);
+    let mut ss_cfg = SharingConfig::new(0);
+    ss_cfg.delivery = delivery;
     let mut ss_spec = throughput_workload(
         &db,
         SMOKE_STREAMS,
         months,
         cfg.seed,
-        SharingMode::ScanSharing(SharingConfig::new(0)),
+        SharingMode::ScanSharing(ss_cfg),
     );
     base_spec.faults = faults.clone();
     ss_spec.faults = faults.clone();
     eprintln!(
         "running pinned smoke workload ({}), {reps} rep(s) ...",
-        smoke_description(&cfg)
+        smoke_description(&cfg, delivery)
     );
     let mut first: Option<(RunReport, RunReport, String, String)> = None;
     let mut wall_ms_samples = Vec::with_capacity(reps);
@@ -125,6 +138,17 @@ fn run_smoke_pair(jobs: usize, faults: &FaultsConfig, reps: usize) -> Result<Smo
     if reps_done > 1 {
         eprintln!("virtual metrics bit-identical across {reps_done} reps: yes");
     }
+    if let Some(ps) = &ss.push {
+        eprintln!(
+            "push delivery (informational, not gated): {:.3} fixes/page \
+             ({} drivers, {} attaches, {} pages delivered, {} catch-up pages)",
+            ps.fixes_per_page(),
+            ps.drivers,
+            ps.attaches,
+            ps.pages_delivered,
+            ps.catchup_pages,
+        );
+    }
     Ok(SmokeRuns {
         base,
         ss,
@@ -172,6 +196,12 @@ OPTIONS:
                  also save the scan-sharing leg's RunReport as compact
                  JSON — byte-identical across machines, so CI can cmp it
                  against the committed report artifact
+  --delivery pull|push
+                 delivery mode of the scan-sharing leg (default pull).
+                 A push-mode run gates against its own committed baseline
+                 (results/baseline_smoke_push.json), tags its ledger entry
+                 so trends stay per-mode, and prints the group drivers'
+                 fixes-per-page summary (informational, not gated)
 ";
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -200,6 +230,7 @@ struct Options {
     history: Option<String>,
     trend_window: usize,
     trend_gate: bool,
+    delivery: DeliveryMode,
 }
 
 fn main() {
@@ -237,6 +268,16 @@ fn main() {
             }
         }
     };
+    let delivery = match flag_value(&args, "--delivery") {
+        None => DeliveryMode::Pull,
+        Some(v) => match v.parse() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let opts = Options {
         jobs,
         reps,
@@ -246,6 +287,7 @@ fn main() {
         history: flag_value(&args, "--history"),
         trend_window,
         trend_gate: args.iter().any(|a| a == "--trend-gate"),
+        delivery,
     };
     let code = match (gate, write) {
         (Some(path), None) => run_gate(&path, &opts),
@@ -288,6 +330,7 @@ fn record_and_check_history(runs: &SmokeRuns, opts: &Options) -> Result<bool, St
         source: "bench_gate".to_string(),
         policy: runs.ss.policy.map(|p| p.to_string()),
         faults: opts.faults_path.clone(),
+        delivery: runs.ss.push.as_ref().map(|_| "push".to_string()),
         metrics: collect_metrics(&runs.base, &runs.ss)
             .into_iter()
             .map(|m| MetricSample {
@@ -343,7 +386,7 @@ fn record_and_check_history(runs: &SmokeRuns, opts: &Options) -> Result<bool, St
 
 fn write_baseline(path: &str, opts: &Options) -> i32 {
     let cfg = smoke_config();
-    let runs = match run_smoke_pair(opts.jobs, &opts.faults, opts.reps) {
+    let runs = match run_smoke_pair(opts.jobs, &opts.faults, opts.reps, opts.delivery) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("FAIL: {e}");
@@ -357,7 +400,7 @@ fn write_baseline(path: &str, opts: &Options) -> i32 {
         }
     }
     let baseline = GateBaseline {
-        description: smoke_description(&cfg),
+        description: smoke_description(&cfg, opts.delivery),
         metrics: collect_metrics(&runs.base, &runs.ss),
         wall: Some(runs.wall.clone()),
         provenance: Some(Provenance {
@@ -414,7 +457,7 @@ fn run_gate(path: &str, opts: &Options) -> i32 {
             return 2;
         }
     };
-    let runs = match run_smoke_pair(opts.jobs, &opts.faults, opts.reps) {
+    let runs = match run_smoke_pair(opts.jobs, &opts.faults, opts.reps, opts.delivery) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("FAIL: {e}");

@@ -2,10 +2,19 @@
 //!
 //! The paper: "The reduced disk utilization may be used to scale to a
 //! larger number of streams with the same hardware." This experiment
-//! runs the TPC-H throughput workload at 1–8 streams in both modes: the
-//! base run's time grows with every added stream (the disk serializes
-//! them), while the sharing run grows much more slowly because
-//! overlapping scans collapse onto one page stream.
+//! runs the TPC-H throughput workload at each stream count in three
+//! modes: the base run's time grows with every added stream (the disk
+//! serializes them), the pull-sharing run grows much more slowly
+//! because overlapping scans collapse onto one page stream, and the
+//! push-sharing run additionally collapses the *buffer-pool fixes* —
+//! one group driver fixes each page once per group, so the per-group
+//! fix count stays near one no matter how many consumers ride along.
+//!
+//! ```sh
+//! exp_streams                                   # default 1–8 sweep
+//! exp_streams --streams 32,128,512 \
+//!             --out results/streams_push.json   # high-load push curve
+//! ```
 
 use scanshare_bench::*;
 use scanshare_engine::{run_workload, SharingMode};
@@ -20,20 +29,65 @@ struct StreamsRow {
     gain_pct: f64,
     base_reads_per_stream: u64,
     ss_reads_per_stream: u64,
+    push_s: f64,
+    push_gain_pct: f64,
+    push_reads_per_stream: u64,
+    push_fixes_per_page: f64,
+    push_drivers: u64,
+    push_attaches: u64,
+}
+
+/// Parse `--streams N,N,...` into stream counts (default 1,2,3,5,8).
+fn parse_streams(args: &[String]) -> Result<Vec<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--streams") else {
+        return Ok(vec![1, 2, 3, 5, 8]);
+    };
+    let list = args
+        .get(i + 1)
+        .ok_or_else(|| "--streams needs a comma-separated list (e.g. 32,128,512)".to_string())?;
+    let mut out = Vec::new();
+    for part in list.split(',') {
+        let n: usize = part
+            .trim()
+            .parse()
+            .map_err(|e| format!("invalid --streams entry '{part}': {e}"))?;
+        if n == 0 {
+            return Err("--streams entries must be >= 1".to_string());
+        }
+        out.push(n);
+    }
+    Ok(out)
+}
+
+/// Parse `--out FILE` (default: `results/streams.json` via dump_json).
+fn parse_out(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let counts = match parse_streams(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let out = parse_out(&args);
     let cfg = experiment_config();
     let db = build_database(&cfg);
     let months = cfg.months as i64;
 
     println!("\n== A7: scaling with streams (TPC-H mix) ==");
     println!(
-        "{:<8} {:>11} {:>11} {:>8} {:>14} {:>14}",
-        "streams", "base (s)", "SS (s)", "gain", "base reads/st", "SS reads/st"
+        "{:<8} {:>11} {:>11} {:>8} {:>11} {:>8} {:>10}",
+        "streams", "base (s)", "pull (s)", "gain", "push (s)", "gain", "fixes/pg"
     );
     let mut rows = Vec::new();
-    for n in [1usize, 2, 3, 5, 8] {
+    for &n in &counts {
         let rb = run_workload(
             &db,
             &throughput_workload(&db, n, months, cfg.seed, SharingMode::Base),
@@ -44,16 +98,24 @@ fn main() {
             &throughput_workload(&db, n, months, cfg.seed, ss_mode()),
         )
         .expect("ss");
+        let rp = run_workload(
+            &db,
+            &throughput_workload(&db, n, months, cfg.seed, push_mode()),
+        )
+        .expect("push");
+        let ps = rp.push.as_ref().expect("push run records its summary");
         let b = rb.makespan.as_secs_f64();
         let s = rs.makespan.as_secs_f64();
+        let p = rp.makespan.as_secs_f64();
         println!(
-            "{:<8} {:>11.2} {:>11.2} {:>7.1}% {:>14} {:>14}",
+            "{:<8} {:>11.2} {:>11.2} {:>7.1}% {:>11.2} {:>7.1}% {:>10.3}",
             n,
             b,
             s,
             pct_gain(b, s),
-            rb.disk.pages_read / n as u64,
-            rs.disk.pages_read / n as u64
+            p,
+            pct_gain(b, p),
+            ps.fixes_per_page(),
         );
         rows.push(StreamsRow {
             streams: n,
@@ -62,10 +124,38 @@ fn main() {
             gain_pct: pct_gain(b, s),
             base_reads_per_stream: rb.disk.pages_read / n as u64,
             ss_reads_per_stream: rs.disk.pages_read / n as u64,
+            push_s: p,
+            push_gain_pct: pct_gain(b, p),
+            push_reads_per_stream: rp.disk.pages_read / n as u64,
+            push_fixes_per_page: ps.fixes_per_page(),
+            push_drivers: ps.drivers,
+            push_attaches: ps.attaches,
         });
     }
     println!("\nexpected shape: per-stream physical reads stay flat for base but FALL");
     println!("with more streams under sharing (more overlap to exploit), so the gain");
-    println!("widens as load grows — the paper's scaling argument.");
-    dump_json("streams", &rows);
+    println!("widens as load grows — the paper's scaling argument. Push delivery");
+    println!("keeps fixes-per-page near 1 regardless of group size, so its gain");
+    println!("overtakes pull as the stream count climbs.");
+    match &out {
+        None => dump_json("streams", &rows),
+        Some(path) => match serde_json::to_string_pretty(&rows) {
+            Ok(json) => {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                match std::fs::write(path, json) {
+                    Ok(()) => eprintln!("wrote {path}"),
+                    Err(e) => {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("json dump failed: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
 }

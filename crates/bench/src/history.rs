@@ -61,6 +61,11 @@ pub struct HistoryEntry {
     pub policy: Option<String>,
     /// Fault-plan file applied to the run, if any.
     pub faults: Option<String>,
+    /// Delivery mode of the measured run (`push`), when not the default
+    /// pull. Tagged entries trend as their own series (`push:<metric>`)
+    /// so the two delivery modes never pollute each other's trajectory.
+    #[serde(default)]
+    pub delivery: Option<String>,
     /// Virtual-clock metrics, identical across reps by construction.
     pub metrics: Vec<MetricSample>,
     /// Replicated wall-clock summary (absent for purely virtual runs).
@@ -168,6 +173,7 @@ mod tests {
             source: "bench_gate".to_string(),
             policy: None,
             faults: None,
+            delivery: None,
             metrics: vec![
                 MetricSample {
                     name: "ss_makespan_us".into(),
@@ -222,6 +228,23 @@ mod tests {
         // Blank lines are skipped, not errors.
         let ok = parse(&format!("{good}\n\n{good}\n")).unwrap();
         assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn entries_without_a_delivery_tag_still_parse() {
+        // Ledger lines written before the delivery tag existed lack the
+        // field entirely; they must load as the default (pull, None).
+        let good = serde_json::to_string(&entry("eeee", 10.0)).unwrap();
+        assert!(good.contains("\"delivery\":null"), "got: {good}");
+        let legacy = good.replace("\"delivery\":null,", "");
+        let back = parse(&legacy).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].delivery, None);
+        // And a tagged entry round-trips its tag.
+        let mut tagged = entry("ffff", 10.0);
+        tagged.delivery = Some("push".to_string());
+        let line = serde_json::to_string(&tagged).unwrap();
+        assert_eq!(parse(&line).unwrap()[0].delivery.as_deref(), Some("push"));
     }
 
     #[test]

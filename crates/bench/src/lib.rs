@@ -70,6 +70,14 @@ pub fn ss_mode() -> SharingMode {
     SharingMode::ScanSharing(SharingConfig::new(0))
 }
 
+/// [`ss_mode`] with push delivery: one group driver fixes each page
+/// once and pushes it through every attached consumer's row pipeline.
+pub fn push_mode() -> SharingMode {
+    let mut cfg = SharingConfig::new(0);
+    cfg.delivery = scanshare::DeliveryMode::Push;
+    SharingMode::ScanSharing(cfg)
+}
+
 /// Worker threads for fanning a sweep's independent runs out in
 /// parallel: `SCANSHARE_JOBS` (default 1). Every run is a deterministic
 /// simulation over virtual time, so the job count changes only the
@@ -232,6 +240,9 @@ pub fn record_history(base: &RunReport, ss: &RunReport) {
         source,
         policy: ss.policy.map(|p| p.to_string()),
         faults: None,
+        // A push-mode run stamps its summary on the report; pull runs
+        // stay untagged so old and new ledgers trend the same series.
+        delivery: ss.push.as_ref().map(|_| "push".to_string()),
         metrics: gate::collect_metrics(base, ss)
             .into_iter()
             .map(|m| history::MetricSample {

@@ -38,6 +38,8 @@ fn kind_name(e: &DecisionEvent) -> &'static str {
         DecisionEvent::FaultInjected { .. } => "fault",
         DecisionEvent::ScanEvicted { .. } => "evicted",
         DecisionEvent::DegradedMode { .. } => "degraded",
+        DecisionEvent::DriverAttach { .. } => "driver-attach",
+        DecisionEvent::DriverHandoff { .. } => "driver-handoff",
     }
 }
 
@@ -238,6 +240,7 @@ mod tests {
             policy: None,
             profile: None,
             slo: Vec::new(),
+            push: None,
         }
     }
 

@@ -98,14 +98,26 @@ impl Trend {
     }
 }
 
+/// Series key for a metric recorded by `entry`: entries tagged with a
+/// non-default delivery mode trend under `<delivery>:<metric>` so push
+/// runs never splice into the pull trajectory of the same metric.
+fn series_key(entry: &HistoryEntry, metric: &str) -> String {
+    match entry.delivery.as_deref() {
+        Some(d) if d != "pull" => format!("{d}:{metric}"),
+        _ => metric.to_string(),
+    }
+}
+
 /// Collect every metric trajectory over `entries`, in first-seen order:
-/// virtual metrics first (as recorded), then the wall pseudo-metrics.
+/// virtual metrics first (as recorded, namespaced per delivery mode),
+/// then the wall pseudo-metrics.
 pub fn trends(entries: &[HistoryEntry]) -> Vec<Trend> {
     let mut order: Vec<String> = Vec::new();
     for e in entries {
         for m in &e.metrics {
-            if !order.contains(&m.name) {
-                order.push(m.name.clone());
+            let key = series_key(e, &m.name);
+            if !order.contains(&key) {
+                order.push(key);
             }
         }
     }
@@ -123,7 +135,11 @@ pub fn trends(entries: &[HistoryEntry]) -> Vec<Trend> {
                     "pages_per_wall_sec.median" => {
                         e.wall.as_ref().map(|w| w.pages_per_wall_sec.median)
                     }
-                    other => e.metric(other),
+                    _ => e
+                        .metrics
+                        .iter()
+                        .find(|m| series_key(e, &m.name) == name)
+                        .map(|m| m.value),
                 })
                 .collect(),
             name,
@@ -143,6 +159,9 @@ pub fn render_history(entries: &[HistoryEntry], metric: Option<&str>) -> String 
         }
         if let Some(f) = &e.faults {
             cfg.push(format!("faults {f}"));
+        }
+        if let Some(d) = &e.delivery {
+            cfg.push(format!("delivery {d}"));
         }
         if let Some(w) = &e.wall {
             cfg.push(format!("reps {} jobs {}", w.reps, w.jobs));
@@ -340,6 +359,7 @@ mod tests {
             source: "bench_gate".to_string(),
             policy: None,
             faults: None,
+            delivery: None,
             metrics: vec![MetricSample {
                 name: "ss_makespan_us".into(),
                 value: makespan,
@@ -379,6 +399,37 @@ mod tests {
             ]
         );
         assert_eq!(ts[0].values, vec![Some(100.0), Some(110.0)]);
+    }
+
+    #[test]
+    fn push_entries_trend_as_their_own_series() {
+        // A ledger holding both delivery modes must trend them apart:
+        // push entries namespace their metrics as push:<name> and leave
+        // gaps in the pull series (and vice versa).
+        let mut push = entry("pppp", 90.0, 9.0);
+        push.delivery = Some("push".to_string());
+        let entries = vec![entry("a", 100.0, 10.0), push, entry("b", 110.0, 11.0)];
+        let ts = trends(&entries);
+        let names: Vec<&str> = ts.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "ss_makespan_us",
+                "push:ss_makespan_us",
+                "wall_ms.median",
+                "pages_per_wall_sec.median"
+            ]
+        );
+        assert_eq!(ts[0].values, vec![Some(100.0), None, Some(110.0)]);
+        assert_eq!(ts[1].values, vec![None, Some(90.0), None]);
+        // The header names the delivery mode next to the tagged entry.
+        let text = render_history(&entries, None);
+        assert!(text.contains("delivery push"), "got: {text}");
+        // An explicit pull tag is the default series, not a namespace.
+        let mut pull = entry("qqqq", 95.0, 9.5);
+        pull.delivery = Some("pull".to_string());
+        let ts = trends(&[pull]);
+        assert_eq!(ts[0].name, "ss_makespan_us");
     }
 
     #[test]

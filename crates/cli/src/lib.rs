@@ -12,7 +12,7 @@
 //! Argument parsing is hand-rolled (no extra dependencies): flags are
 //! `--name value` pairs validated against each subcommand's schema.
 
-use scanshare::{SharingConfig, SharingPolicyKind, SpanProfiler};
+use scanshare::{DeliveryMode, SharingConfig, SharingPolicyKind, SpanProfiler};
 use scanshare_engine::{
     run_workload, run_workload_hooked, Database, FaultsConfig, RunHooks, RunReport, SharingMode,
     Tracer, WorkloadSpec,
@@ -75,14 +75,15 @@ pub enum Command {
         stagger_frac: f64,
     },
     /// `run --spec FILE [--db FILE] [--faults FILE] [--compare]
-    /// [--policy grouping|attach|elevator] [--report OUT]
-    /// [--trace-out OUT]`
+    /// [--policy grouping|attach|elevator] [--delivery pull|push]
+    /// [--report OUT] [--trace-out OUT]`
     Run {
         spec: String,
         db: Option<String>,
         faults: Option<String>,
         compare: bool,
         policy: Option<SharingPolicyKind>,
+        delivery: Option<DeliveryMode>,
         outputs: RunOutputs,
     },
     /// `trace --artifact FILE`: replay a saved report's event log.
@@ -245,6 +246,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     None => None,
                     Some(v) => Some(v.parse().map_err(UsageError)?),
                 },
+                delivery: match flag_value(args, "--delivery") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(UsageError)?),
+                },
                 outputs: RunOutputs {
                     report: flag_value(args, "--report").map(String::from),
                     trace: flag_value(args, "--trace-out").map(String::from),
@@ -362,7 +367,7 @@ USAGE:
                       [--stagger-frac F]
       Staggered single-query run (Figure 15/16 setup).
   scanshare run --spec FILE [--db FILE] [--faults FILE] [--compare]
-                [--policy grouping|attach|elevator]
+                [--policy grouping|attach|elevator] [--delivery pull|push]
                 [--report OUT] [--trace-out OUT] [--profile-out OUT]
       Execute a JSON RunSpec. The spec's workload section may carry an
       optional \"faults\" subsection (a FaultsConfig: seeded fault plan
@@ -375,6 +380,11 @@ USAGE:
       paper's grouping + throttling machinery), attach (join the newest
       compatible scan, never throttle), or elevator (one circulating
       read cursor per table);
+      --delivery selects how pages reach a group's consumers: pull
+      (default; every scan fixes its own pages) or push (one group
+      driver fixes each page once and pushes it through every attached
+      consumer's row pipeline; the report gains a \"push\" section with
+      driver/attach/catch-up counters);
       --report saves the full RunReport (metrics + trace) as JSON,
       --trace-out saves the event log alone as JSON-lines, and
       --profile-out records a hierarchical span profile and saves it as
@@ -564,6 +574,7 @@ pub fn execute(cmd: Command) -> i32 {
             faults,
             compare,
             policy,
+            delivery,
             outputs,
         } => {
             let text = match std::fs::read_to_string(&spec) {
@@ -592,6 +603,18 @@ pub fn execute(cmd: Command) -> i32 {
                     SharingMode::Base | SharingMode::BasePolicy(_) => {}
                 }
             }
+            if let Some(d) = delivery {
+                match &mut parsed.workload.mode {
+                    SharingMode::ScanSharing(cfg) => cfg.delivery = d,
+                    SharingMode::Base | SharingMode::BasePolicy(_) if !compare => {
+                        eprintln!(
+                            "note: --delivery {d} has no effect on a base-mode spec \
+                             (add --compare or set the spec's mode to ScanSharing)"
+                        );
+                    }
+                    SharingMode::Base | SharingMode::BasePolicy(_) => {}
+                }
+            }
             if let Some(path) = faults {
                 match load_fault_config(&path) {
                     Ok(cfg) => parsed.workload.faults = cfg,
@@ -611,7 +634,14 @@ pub fn execute(cmd: Command) -> i32 {
                 },
                 None => generate(&parsed.tpch),
             };
-            run_maybe_compare_with(&database, &parsed.workload, compare, policy, &outputs)
+            run_maybe_compare_with(
+                &database,
+                &parsed.workload,
+                compare,
+                policy,
+                delivery,
+                &outputs,
+            )
         }
         Command::Bench {
             streams,
@@ -911,7 +941,7 @@ fn slo_exit(r: &RunReport) -> i32 {
 }
 
 fn run_maybe_compare(db: &Database, spec: &WorkloadSpec, compare: bool) -> i32 {
-    run_maybe_compare_with(db, spec, compare, None, &RunOutputs::default())
+    run_maybe_compare_with(db, spec, compare, None, None, &RunOutputs::default())
 }
 
 /// `scanshare bench`: measure the simulator's own wall-clock throughput.
@@ -1004,14 +1034,14 @@ fn run_maybe_compare_with(
     spec: &WorkloadSpec,
     compare: bool,
     policy: Option<SharingPolicyKind>,
+    delivery: Option<DeliveryMode>,
     outputs: &RunOutputs,
 ) -> i32 {
     if compare {
         let base = force_mode(spec, SharingMode::Base);
-        let ss = force_mode(
-            spec,
-            SharingMode::ScanSharing(SharingConfig::with_policy(0, policy.unwrap_or_default())),
-        );
+        let mut cfg = SharingConfig::with_policy(0, policy.unwrap_or_default());
+        cfg.delivery = delivery.unwrap_or_default();
+        let ss = force_mode(spec, SharingMode::ScanSharing(cfg));
         let rb = match run_workload(db, &base) {
             Ok(r) => r,
             Err(e) => {
@@ -1166,6 +1196,7 @@ mod tests {
                 faults: None,
                 compare: false,
                 policy: None,
+                delivery: None,
                 outputs: RunOutputs {
                     report: Some("out.json".into()),
                     trace: Some("t.jsonl".into()),
@@ -1181,6 +1212,7 @@ mod tests {
                 faults: Some("plan.json".into()),
                 compare: false,
                 policy: None,
+                delivery: None,
                 outputs: RunOutputs::default(),
             }
         );
@@ -1219,7 +1251,10 @@ mod tests {
             trace: Some(trace_path.to_string_lossy().into_owned()),
             profile: None,
         };
-        assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
+        assert_eq!(
+            run_maybe_compare_with(&db, &w, false, None, None, &outputs),
+            0
+        );
 
         // The saved report replays: embedded trace matches the JSONL
         // side channel, and both renderers produce real output.
@@ -1299,7 +1334,10 @@ mod tests {
             trace: None,
             profile: None,
         };
-        assert_eq!(run_maybe_compare_with(&db, &w, false, None, &outputs), 0);
+        assert_eq!(
+            run_maybe_compare_with(&db, &w, false, None, None, &outputs),
+            0
+        );
         let report = load_report(outputs.report.as_deref().unwrap()).unwrap();
         std::fs::remove_file(&report_path).ok();
         assert_eq!(report.policy, Some(SharingPolicyKind::Elevator));
@@ -1318,6 +1356,59 @@ mod tests {
         // policies, and the spec's optional "faults" subsection.
         assert!(USAGE.contains("--policy grouping|attach|elevator"));
         assert!(USAGE.contains("\"faults\" subsection"));
+        assert!(USAGE.contains("--delivery pull|push"));
+    }
+
+    #[test]
+    fn parses_run_delivery_flag() {
+        for (name, mode) in [("pull", DeliveryMode::Pull), ("push", DeliveryMode::Push)] {
+            match parse_args(&args(&format!("run --spec s.json --delivery {name}"))).unwrap() {
+                Command::Run { delivery, .. } => assert_eq!(delivery, Some(mode)),
+                other => panic!("expected run command, got {other:?}"),
+            }
+        }
+        match parse_args(&args("run --spec s.json")).unwrap() {
+            Command::Run { delivery, .. } => assert_eq!(delivery, None),
+            other => panic!("expected run command, got {other:?}"),
+        }
+        let err = parse_args(&args("run --spec s.json --delivery teleport")).unwrap_err();
+        assert!(err.0.contains("unknown delivery 'teleport'"), "got: {err}");
+    }
+
+    #[test]
+    fn run_delivery_selects_push_end_to_end() {
+        // --delivery push on a sharing spec stamps the report's push
+        // section; the explain narrative mentions the driver attaches.
+        let tpch = TpchConfig::tiny();
+        let db = generate(&tpch);
+        let mut cfg = SharingConfig::new(0);
+        cfg.delivery = DeliveryMode::Push;
+        let w = throughput_workload(
+            &db,
+            2,
+            tpch.months as i64,
+            tpch.seed,
+            SharingMode::ScanSharing(cfg),
+        );
+        let dir = std::env::temp_dir();
+        let report_path = dir.join(format!("scanshare_push_cli_{}.json", std::process::id()));
+        let outputs = RunOutputs {
+            report: Some(report_path.to_string_lossy().into_owned()),
+            trace: None,
+            profile: None,
+        };
+        assert_eq!(
+            run_maybe_compare_with(&db, &w, false, None, None, &outputs),
+            0
+        );
+        let report = load_report(outputs.report.as_deref().unwrap()).unwrap();
+        std::fs::remove_file(&report_path).ok();
+        let ps = report.push.as_ref().expect("push section in the report");
+        assert!(ps.drivers >= 1, "{ps:?}");
+        assert!(ps.pages_delivered > 0, "{ps:?}");
+        // The driver provenance survives the round trip and narrates.
+        let text = explain::render_explain(&report, None).unwrap();
+        assert!(text.contains("push driver"), "got: {text}");
     }
 
     #[test]

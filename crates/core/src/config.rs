@@ -25,10 +25,67 @@ pub enum PlacementStrategy {
     AlwaysAttach,
 }
 
+/// How pages reach a group's consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// Every scan steps its own cursor and fixes its own pages (the
+    /// papers' model, and the default). N scans in a group cost ≈ N pool
+    /// fixes per shared page.
+    #[default]
+    Pull,
+    /// One *group driver* cursor per (table, range) fetches each extent
+    /// exactly once and pushes the fixed pages through every attached
+    /// consumer's row pipeline before release — N consumers, one pool
+    /// fix per page (the push-based storage-manager design from the
+    /// related work).
+    Push,
+}
+
+impl DeliveryMode {
+    /// The CLI spelling of the mode (`pull`, `push`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeliveryMode::Pull => "pull",
+            DeliveryMode::Push => "push",
+        }
+    }
+
+    /// True for the default pull mode (used to keep serialized specs
+    /// byte-identical to pre-push builds).
+    pub fn is_pull(&self) -> bool {
+        *self == DeliveryMode::Pull
+    }
+}
+
+impl std::fmt::Display for DeliveryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for DeliveryMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pull" => Ok(DeliveryMode::Pull),
+            "push" => Ok(DeliveryMode::Push),
+            other => Err(format!(
+                "unknown delivery '{other}' (expected pull or push)"
+            )),
+        }
+    }
+}
+
 /// Tunables of the scan-sharing manager. Defaults mirror the papers'
 /// prototype: 16-page extents, a drift threshold of two prefetch extents,
 /// and an 80 % fairness cap on accumulated slowdown.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (see below) so the
+/// `delivery` knob only appears in serialized specs when it is not the
+/// default pull mode: spec templates and pre-push specs keep their
+/// exact bytes.
+#[derive(Debug, Clone)]
 pub struct SharingConfig {
     /// Size of the buffer pool the manager optimizes for, in pages. Used
     /// as the extent budget when forming groups (Figure 14) and as the
@@ -61,8 +118,74 @@ pub struct SharingConfig {
     /// to the paper's grouping+throttling; `attach` and `elevator` model
     /// the simpler sharing schemes of related work. Omitted in older
     /// workload specs, which therefore keep their exact behavior.
-    #[serde(default)]
     pub policy: SharingPolicyKind,
+    /// How pages reach a group's consumers: every scan pulls its own
+    /// pages (default) or a single group driver pushes each fixed extent
+    /// through all attached consumers. Omitted from serialized specs
+    /// when default so pre-push specs and spec templates keep their
+    /// bytes.
+    pub delivery: DeliveryMode,
+}
+
+impl Serialize for SharingConfig {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("pool_pages", self.pool_pages.to_json_value());
+        m.insert("extent_pages", self.extent_pages.to_json_value());
+        m.insert(
+            "throttle_threshold_extents",
+            self.throttle_threshold_extents.to_json_value(),
+        );
+        m.insert("fairness_cap", self.fairness_cap.to_json_value());
+        m.insert("dynamic_fairness", self.dynamic_fairness.to_json_value());
+        m.insert("max_wait", self.max_wait.to_json_value());
+        m.insert("enable_placement", self.enable_placement.to_json_value());
+        m.insert(
+            "placement_strategy",
+            self.placement_strategy.to_json_value(),
+        );
+        m.insert("enable_throttling", self.enable_throttling.to_json_value());
+        m.insert("enable_priorities", self.enable_priorities.to_json_value());
+        m.insert("policy", self.policy.to_json_value());
+        if !self.delivery.is_pull() {
+            m.insert("delivery", self.delivery.to_json_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for SharingConfig {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(m: &serde::Map, field: &str) -> Result<T, serde::Error> {
+            match m.get(field) {
+                Some(v) => T::from_json_value(v),
+                None => serde::__private::missing_field("SharingConfig", field),
+            }
+        }
+        fn opt<T: Deserialize + Default>(m: &serde::Map, field: &str) -> Result<T, serde::Error> {
+            match m.get(field) {
+                Some(v) => T::from_json_value(v),
+                None => Ok(T::default()),
+            }
+        }
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::__private::unexpected("an object (SharingConfig)", v))?;
+        Ok(SharingConfig {
+            pool_pages: req(m, "pool_pages")?,
+            extent_pages: req(m, "extent_pages")?,
+            throttle_threshold_extents: req(m, "throttle_threshold_extents")?,
+            fairness_cap: req(m, "fairness_cap")?,
+            dynamic_fairness: req(m, "dynamic_fairness")?,
+            max_wait: req(m, "max_wait")?,
+            enable_placement: req(m, "enable_placement")?,
+            placement_strategy: req(m, "placement_strategy")?,
+            enable_throttling: req(m, "enable_throttling")?,
+            enable_priorities: req(m, "enable_priorities")?,
+            policy: opt(m, "policy")?,
+            delivery: opt(m, "delivery")?,
+        })
+    }
 }
 
 impl SharingConfig {
@@ -80,6 +203,7 @@ impl SharingConfig {
             enable_throttling: true,
             enable_priorities: true,
             policy: SharingPolicyKind::default(),
+            delivery: DeliveryMode::default(),
         }
     }
 
@@ -130,6 +254,28 @@ mod tests {
         assert_eq!(c.throttle_threshold_pages(), 32);
         assert!((c.fairness_cap - 0.8).abs() < 1e-12);
         assert!(c.enable_placement && c.enable_throttling && c.enable_priorities);
+    }
+
+    #[test]
+    fn delivery_defaults_to_pull_and_round_trips() {
+        use std::str::FromStr;
+        let c = SharingConfig::new(100);
+        assert_eq!(c.delivery, DeliveryMode::Pull);
+        for mode in [DeliveryMode::Pull, DeliveryMode::Push] {
+            assert_eq!(DeliveryMode::from_str(mode.as_str()), Ok(mode));
+        }
+        assert!(DeliveryMode::from_str("teleport").is_err());
+        // Serialized default configs must not mention the knob at all
+        // (spec templates and committed artifacts keep their bytes) and
+        // pre-push specs must still deserialize.
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("delivery"), "got: {json}");
+        let back: SharingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.delivery, DeliveryMode::Pull);
+        let mut push = SharingConfig::new(100);
+        push.delivery = DeliveryMode::Push;
+        let json = serde_json::to_string(&push).unwrap();
+        assert!(json.contains("\"delivery\":\"Push\""), "got: {json}");
     }
 
     #[test]

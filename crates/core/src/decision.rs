@@ -209,6 +209,37 @@ pub enum DecisionEvent {
         /// Ongoing scans still being shared.
         active: usize,
     },
+    /// Push delivery: a new consumer attached to a group driver's shared
+    /// page stream. `missed_pages` is the prefix the consumer replays
+    /// through its private pull cursor (the catch-up protocol).
+    DriverAttach {
+        /// The attaching consumer.
+        scan: ScanId,
+        /// The scan currently owning the group-driver cursor.
+        driver: ScanId,
+        /// The object whose pages the driver delivers.
+        object: ObjectId,
+        /// Pages the driver already delivered before this consumer
+        /// attached — replayed privately.
+        missed_pages: u64,
+        /// Consumers attached to the driver after this attach.
+        consumers: usize,
+    },
+    /// Push delivery: the group-driver role moved to a surviving
+    /// consumer because the previous driver detached mid-lap (fault
+    /// eviction — a finished driver retires its lap instead).
+    DriverHandoff {
+        /// The consumer now driving the cursor.
+        scan: ScanId,
+        /// The consumer that was driving.
+        from: ScanId,
+        /// The object whose pages the driver delivers.
+        object: ObjectId,
+        /// Pages left to deliver in the current lap.
+        remaining_pages: u64,
+        /// Consumers still attached (including the new driver).
+        consumers: usize,
+    },
 }
 
 impl DecisionEvent {
@@ -225,7 +256,9 @@ impl DecisionEvent {
             | DecisionEvent::PageReprioritize { scan, .. }
             | DecisionEvent::FaultInjected { scan, .. }
             | DecisionEvent::ScanEvicted { scan, .. }
-            | DecisionEvent::DegradedMode { scan, .. } => *scan,
+            | DecisionEvent::DegradedMode { scan, .. }
+            | DecisionEvent::DriverAttach { scan, .. }
+            | DecisionEvent::DriverHandoff { scan, .. } => *scan,
         }
     }
 
@@ -532,6 +565,37 @@ pub fn describe(event: &DecisionEvent) -> String {
             scan.0,
             if *active == 1 { "" } else { "s" }
         ),
+        DecisionEvent::DriverAttach {
+            scan,
+            driver,
+            missed_pages,
+            consumers,
+            ..
+        } => {
+            let catchup = if *missed_pages == 0 {
+                "nothing to catch up".to_string()
+            } else {
+                format!("{missed_pages} missed pages replayed via private pull cursor")
+            };
+            format!(
+                "scan {} attached to push driver {} ({consumers} consumer{} riding, {catchup})",
+                scan.0,
+                driver.0,
+                if *consumers == 1 { "" } else { "s" }
+            )
+        }
+        DecisionEvent::DriverHandoff {
+            scan,
+            from,
+            remaining_pages,
+            consumers,
+            ..
+        } => format!(
+            "push driver handoff: scan {} takes the cursor from scan {} ({remaining_pages} pages left in the lap, {consumers} consumer{} attached)",
+            scan.0,
+            from.0,
+            if *consumers == 1 { "" } else { "s" }
+        ),
     }
 }
 
@@ -647,6 +711,20 @@ mod tests {
                 scan: ScanId(0),
                 policy: SharingPolicyKind::Elevator,
             },
+            DecisionEvent::DriverAttach {
+                scan: ScanId(3),
+                driver: ScanId(0),
+                object: ObjectId(3),
+                missed_pages: 48,
+                consumers: 3,
+            },
+            DecisionEvent::DriverHandoff {
+                scan: ScanId(1),
+                from: ScanId(0),
+                object: ObjectId(3),
+                remaining_pages: 512,
+                consumers: 2,
+            },
         ]
     }
 
@@ -657,7 +735,7 @@ mod tests {
             log.record(SimTime::from_millis(i as u64), e);
         }
         let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 11);
+        assert_eq!(jsonl.lines().count(), 13);
         let back = decisions_from_jsonl(&jsonl).unwrap();
         assert_eq!(back, log.records());
         // Blank lines tolerated; garbage names its line.
@@ -736,6 +814,30 @@ mod tests {
         assert!(degraded.contains("degraded mode"), "got: {degraded}");
         let policy = describe(&events[10]);
         assert!(policy.contains("policy 'elevator'"), "got: {policy}");
+        let attach = describe(&events[11]);
+        assert!(
+            attach.contains("attached to push driver 0"),
+            "got: {attach}"
+        );
+        assert!(
+            attach.contains("48 missed pages replayed via private pull cursor"),
+            "got: {attach}"
+        );
+        let handoff = describe(&events[12]);
+        assert!(handoff.contains("driver handoff"), "got: {handoff}");
+        assert!(
+            handoff.contains("takes the cursor from scan 0"),
+            "got: {handoff}"
+        );
+        assert!(handoff.contains("512 pages left"), "got: {handoff}");
+        let founder = describe(&DecisionEvent::DriverAttach {
+            scan: ScanId(0),
+            driver: ScanId(0),
+            object: ObjectId(3),
+            missed_pages: 0,
+            consumers: 1,
+        });
+        assert!(founder.contains("nothing to catch up"), "got: {founder}");
     }
 
     #[test]
@@ -751,6 +853,10 @@ mod tests {
         assert_eq!(events[9].group(), None);
         assert_eq!(events[10].scan(), ScanId(0));
         assert_eq!(events[10].group(), None);
+        assert_eq!(events[11].scan(), ScanId(3));
+        assert_eq!(events[11].group(), None);
+        assert_eq!(events[12].scan(), ScanId(1));
+        assert_eq!(events[12].group(), None);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod scan;
 pub mod stats;
 pub mod throttle;
 
-pub use config::{PlacementStrategy, SharingConfig};
+pub use config::{DeliveryMode, PlacementStrategy, SharingConfig};
 pub use decision::{DecisionEvent, DecisionLog, DecisionRecord, PlacementCandidate};
 pub use grouping::{GroupInfo, Role};
 pub use manager::{ManagerProbe, ScanProbe, ScanSharingManager, StartDecision, UpdateOutcome};

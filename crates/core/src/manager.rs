@@ -697,6 +697,84 @@ impl ScanSharingManager {
         );
     }
 
+    /// Push delivery: should a late joiner that missed `missed_pages` of
+    /// a `range_pages` lap attach to the ongoing driver (replaying the
+    /// missed prefix privately) or found its own driver? Delegates to the
+    /// sharing policy's [`crate::policy::SharingPolicy::attach_push`].
+    pub fn attach_push(&self, missed_pages: u64, range_pages: u64) -> bool {
+        self.policy.attach_push(missed_pages, range_pages)
+    }
+
+    /// Push delivery: `scan` attached to `driver`'s shared page stream
+    /// (provenance for the `engine::push` consumer registry — the
+    /// manager keeps no driver state of its own). `missed_pages` is the
+    /// prefix the consumer replays privately; `consumers` counts the
+    /// registry *after* the attach. Whether the attach happens at all is
+    /// the policy's call via [`crate::policy::SharingPolicy::attach_push`].
+    pub fn note_driver_attach(
+        &self,
+        scan: ScanId,
+        driver: ScanId,
+        object: ObjectId,
+        now: SimTime,
+        missed_pages: u64,
+        consumers: usize,
+    ) {
+        self.span_instant(
+            "mgr.push_attach",
+            now,
+            &[
+                ("scan", scan.0.to_string()),
+                ("driver", driver.0.to_string()),
+                ("missed_pages", missed_pages.to_string()),
+            ],
+        );
+        self.emit(
+            now,
+            DecisionEvent::DriverAttach {
+                scan,
+                driver,
+                object,
+                missed_pages,
+                consumers,
+            },
+        );
+    }
+
+    /// Push delivery: the group-driver cursor moved from `from` to
+    /// `scan` (the previous driver was evicted mid-lap). Throttling
+    /// follows the cursor: after a handoff the new driver is the scan
+    /// whose `update_location` calls the throttle machinery sees.
+    pub fn note_driver_handoff(
+        &self,
+        scan: ScanId,
+        from: ScanId,
+        object: ObjectId,
+        now: SimTime,
+        remaining_pages: u64,
+        consumers: usize,
+    ) {
+        self.span_instant(
+            "mgr.push_handoff",
+            now,
+            &[
+                ("scan", scan.0.to_string()),
+                ("from", from.0.to_string()),
+                ("remaining_pages", remaining_pages.to_string()),
+            ],
+        );
+        self.emit(
+            now,
+            DecisionEvent::DriverHandoff {
+                scan,
+                from,
+                object,
+                remaining_pages,
+                consumers,
+            },
+        );
+    }
+
     /// Graceful degradation: remove a scan that died to a permanent
     /// fault (or exhausted its retries) from sharing. Its group re-forms
     /// without it, any throttling its position justified is lifted

@@ -167,6 +167,22 @@ pub trait SharingPolicy: Send + Sync {
     /// Minimum absolute saving (pages) a placement candidate must offer,
     /// as recorded on placement provenance events.
     fn placement_threshold(&self, cfg: &SharingConfig) -> f64;
+
+    /// Push delivery only: should a new consumer attach to a group
+    /// driver that has already delivered `missed_pages` of its
+    /// `range_pages`-page lap, replaying the missed prefix through a
+    /// private pull cursor — or found a fresh driver of its own?
+    ///
+    /// The default mirrors the grouping policy's sharing-potential
+    /// instinct: attach while the shared remainder dwarfs the private
+    /// replay (missed prefix at most a fifth of the lap — the replay is
+    /// pure duplicate fixing, so keeping it small is what holds a
+    /// group's fixes-per-page near one). Policies that attach
+    /// unconditionally in pull mode override this to do the same in
+    /// push mode.
+    fn attach_push(&self, missed_pages: u64, range_pages: u64) -> bool {
+        missed_pages.saturating_mul(5) <= range_pages
+    }
 }
 
 /// Build the policy implementation for `kind`.
@@ -462,6 +478,12 @@ impl SharingPolicy for AttachPolicy {
     fn placement_threshold(&self, _cfg: &SharingConfig) -> f64 {
         0.0
     }
+
+    /// Attach-style sharing attaches unconditionally in pull mode, so it
+    /// rides any driver in push mode too, whatever the missed prefix.
+    fn attach_push(&self, _missed_pages: u64, _range_pages: u64) -> bool {
+        true
+    }
 }
 
 /// Elevator policy: one circulating read cursor per table. The cursor is
@@ -483,6 +505,13 @@ pub struct ElevatorPolicy;
 impl SharingPolicy for ElevatorPolicy {
     fn kind(&self) -> SharingPolicyKind {
         SharingPolicyKind::Elevator
+    }
+
+    /// The elevator cursor *is* a push driver: scans always ride it and
+    /// cover what they missed on the wrap, so push attach is
+    /// unconditional here too.
+    fn attach_push(&self, _missed_pages: u64, _range_pages: u64) -> bool {
+        true
     }
 
     fn place(
@@ -583,5 +612,18 @@ mod tests {
         assert!(GroupingPolicy.throttles() && GroupingPolicy.prioritizes());
         assert!(!AttachPolicy.throttles() && !AttachPolicy.prioritizes());
         assert!(!ElevatorPolicy.throttles() && !ElevatorPolicy.prioritizes());
+    }
+
+    #[test]
+    fn push_attach_thresholds_follow_the_pull_instincts() {
+        // Grouping: attach while the missed prefix stays a small slice
+        // of the lap; refuse once the private replay would rival the
+        // shared remainder.
+        assert!(GroupingPolicy.attach_push(0, 1000));
+        assert!(GroupingPolicy.attach_push(200, 1000));
+        assert!(!GroupingPolicy.attach_push(201, 1000));
+        // Attach and elevator ride the cursor unconditionally.
+        assert!(AttachPolicy.attach_push(999, 1000));
+        assert!(ElevatorPolicy.attach_push(999, 1000));
     }
 }

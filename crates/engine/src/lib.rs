@@ -31,6 +31,7 @@ pub mod faults;
 pub mod metrics;
 pub mod par_runs;
 pub mod persist;
+pub mod push;
 pub mod query;
 pub mod scan_exec;
 pub mod slo;
@@ -41,7 +42,7 @@ pub use cost::{CpuClass, EngineConfig};
 pub use db::Database;
 pub use error::{EngineError, EngineResult};
 pub use faults::{FaultSummary, FaultsConfig};
-pub use metrics::{Breakdown, QueryRecord, RunReport};
+pub use metrics::{Breakdown, PushSummary, QueryRecord, RunReport};
 pub use par_runs::{par_map, run_workloads};
 pub use query::{Access, AggSpec, Pred, Query, QueryResult, ScanSpec};
 pub use slo::{SloConfig, SloOp, SloRule, SloVerdict};

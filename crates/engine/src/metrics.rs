@@ -70,6 +70,44 @@ impl QueryRecord {
     }
 }
 
+/// Counters of the push-delivery engine (one group-driver cursor per
+/// (table, range) cohort). The headline buffer-locality claim reads off
+/// these: `pages_delivered + catchup_pages` is every pool fix the push
+/// cohorts performed, against `pages_delivered` distinct page deliveries
+/// — a ratio near 1.0 means one pool fix per page per group, however
+/// many consumers rode along.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushSummary {
+    /// Group drivers founded (one per cohort lap).
+    pub drivers: u64,
+    /// Cursor handoffs after a driving consumer faulted mid-lap.
+    pub handoffs: u64,
+    /// Late joiners that attached to an ongoing driver (founders are not
+    /// counted).
+    pub attaches: u64,
+    /// Extents fetched by group drivers.
+    pub extents_delivered: u64,
+    /// Pages fixed by group drivers — exactly once per page per lap.
+    pub pages_delivered: u64,
+    /// Page *consumptions* served from driver-fixed pages (each of the
+    /// `pages_delivered` counts once per consumer riding at the time).
+    pub consumer_pages: u64,
+    /// Pages fixed by late joiners' private catch-up cursors.
+    pub catchup_pages: u64,
+}
+
+impl PushSummary {
+    /// Pool fixes per delivered page across all push cohorts: 1.0 is the
+    /// ideal (every page fixed exactly once per group); the excess over
+    /// 1.0 is the price of late joiners replaying missed prefixes.
+    pub fn fixes_per_page(&self) -> f64 {
+        if self.pages_delivered == 0 {
+            return 0.0;
+        }
+        (self.pages_delivered + self.catchup_pages) as f64 / self.pages_delivered as f64
+    }
+}
+
 /// Everything measured over one workload run.
 ///
 /// `Serialize`/`Deserialize` are hand-written (see below) so the
@@ -127,6 +165,11 @@ pub struct RunReport {
     /// section (empty — and omitted from artifacts — when the spec
     /// declares no rules).
     pub slo: Vec<crate::slo::SloVerdict>,
+    /// Push-delivery counters, present only when the run used
+    /// `delivery: push`. `None` — and omitted from artifacts — for pull
+    /// runs, so default-mode reports stay byte-identical to artifacts
+    /// written before push delivery existed.
+    pub push: Option<PushSummary>,
 }
 
 impl Serialize for RunReport {
@@ -159,6 +202,9 @@ impl Serialize for RunReport {
         }
         if !self.slo.is_empty() {
             m.insert("slo", self.slo.to_json_value());
+        }
+        if let Some(push) = &self.push {
+            m.insert("push", push.to_json_value());
         }
         serde::Value::Object(m)
     }
@@ -199,6 +245,7 @@ impl Deserialize for RunReport {
             policy: opt(m, "policy")?,
             profile: opt(m, "profile")?,
             slo: opt(m, "slo")?,
+            push: opt(m, "push")?,
         })
     }
 }

@@ -22,9 +22,12 @@ use crate::error::{EngineError, EngineResult};
 use crate::exec::ExecWorld;
 use crate::query::{Access, AggSpec, Pred, QueryResult, ScanSpec};
 
-/// Scan progress plan.
+/// Scan progress plan: the *cursor* half of a scan, advanced one extent
+/// per [`Plan::gather`]/[`Plan::advance`] pair. The pull executor owns
+/// one per scan; the push engine owns one per group driver (and one per
+/// late joiner's private catch-up cursor).
 #[derive(Debug)]
-enum Plan {
+pub(crate) enum Plan {
     /// Circular walk over all table pages, starting at `start_page`.
     Table {
         num_pages: u32,
@@ -53,9 +56,238 @@ enum Plan {
     },
 }
 
+impl Plan {
+    /// Whether the cursor has covered its whole range.
+    pub(crate) fn done(&self) -> bool {
+        match self {
+            Plan::Table {
+                num_pages, visited, ..
+            } => *visited >= *num_pages,
+            Plan::Index {
+                entries, visited, ..
+            } => *visited >= entries.len(),
+            Plan::Rid {
+                entries, visited, ..
+            } => *visited >= entries.len(),
+        }
+    }
+
+    /// Whether this is a RID-fetch plan (push delivery excludes these:
+    /// their page sets are per-predicate, not a shareable linear range).
+    pub(crate) fn is_rid(&self) -> bool {
+        matches!(self, Plan::Rid { .. })
+    }
+
+    /// Gather the next extent's pages into `ids` (and, for RID plans, the
+    /// `(page, slot)` work list into `rids`): the *advance the cursor*
+    /// half of a scan step, shared by pull scans and push group drivers.
+    /// Returns what to evaluate, the location to report afterwards, the
+    /// units consumed, and whether the step ends the first phase (the
+    /// cursor wraps after it).
+    pub(crate) fn gather(
+        &self,
+        file: FileId,
+        extent_pages: u32,
+        ids: &mut Vec<PageId>,
+        rids: &mut Vec<(PageId, u16)>,
+    ) -> (StepWork, Location, u64, bool) {
+        match self {
+            Plan::Table {
+                num_pages,
+                start_page,
+                visited,
+            } => {
+                let cur = (start_page + visited) % num_pages;
+                // Do not cross the wrap boundary within one extent.
+                let chunk = extent_pages.min(num_pages - cur).min(num_pages - visited);
+                ids.extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
+                let last = cur + chunk - 1;
+                let wraps = cur + chunk == *num_pages && visited + chunk < *num_pages;
+                (
+                    StepWork::AllRows,
+                    Location::new(last as i64, last as u64),
+                    chunk as u64,
+                    wraps,
+                )
+            }
+            Plan::Index {
+                entries,
+                block_pages,
+                start_idx,
+                visited,
+            } => {
+                let idx = (start_idx + visited) % entries.len();
+                let e = entries[idx];
+                let first_page = e.payload as u32 * block_pages;
+                ids.extend((first_page..first_page + block_pages).map(|p| PageId::new(file, p)));
+                let wraps = idx + 1 == entries.len() && visited + 1 < entries.len();
+                (
+                    StepWork::AllRows,
+                    Location::new(e.key, e.payload),
+                    1u64,
+                    wraps,
+                )
+            }
+            Plan::Rid {
+                entries,
+                start_idx,
+                visited,
+            } => {
+                // Consume entries until the chunk spans one extent's
+                // worth of distinct pages (or the phase boundary).
+                let len = entries.len();
+                let extent = extent_pages as usize;
+                let max_entries = extent * 32;
+                let mut taken = 0usize;
+                let mut last = entries[(start_idx + visited) % len];
+                while visited + taken < len && taken < max_entries {
+                    let e = entries[(start_idx + visited + taken) % len];
+                    let rid = Rid::unpack(e.payload);
+                    let pid = PageId::new(file, rid.page);
+                    if !ids.contains(&pid) {
+                        if ids.len() == extent {
+                            break;
+                        }
+                        ids.push(pid);
+                    }
+                    rids.push((pid, rid.slot));
+                    last = e;
+                    taken += 1;
+                    // Never cross the wrap boundary within one chunk.
+                    if (start_idx + visited + taken).is_multiple_of(len) {
+                        break;
+                    }
+                }
+                let after = visited + taken;
+                let wraps = (start_idx + after).is_multiple_of(len) && after < len;
+                (
+                    StepWork::Rids {
+                        distinct_pages: ids.len() as u64,
+                    },
+                    Location::new(last.key, last.payload),
+                    taken as u64,
+                    wraps,
+                )
+            }
+        }
+    }
+
+    /// How many pages a gathered step advances the scan's location by
+    /// (what `update_location` reports to the sharing manager).
+    pub(crate) fn pages_advanced(&self, work: StepWork, units: u64) -> u64 {
+        match (self, work) {
+            (Plan::Table { .. }, _) => units,
+            (Plan::Index { block_pages, .. }, _) => units * *block_pages as u64,
+            (Plan::Rid { .. }, StepWork::Rids { distinct_pages }) => distinct_pages,
+            (Plan::Rid { .. }, _) => unreachable!("RID plans produce RID work"),
+        }
+    }
+
+    /// Consume the units a [`Plan::gather`] returned.
+    pub(crate) fn advance(&mut self, units: u64) {
+        match self {
+            Plan::Table { visited, .. } => *visited += units as u32,
+            Plan::Index { visited, .. } | Plan::Rid { visited, .. } => *visited += units as usize,
+        }
+    }
+
+    /// Total pages the whole range covers (RID plans estimate one page
+    /// per entry).
+    pub(crate) fn total_pages(&self) -> u64 {
+        match self {
+            Plan::Table { num_pages, .. } => *num_pages as u64,
+            Plan::Index {
+                entries,
+                block_pages,
+                ..
+            } => entries.len() as u64 * *block_pages as u64,
+            Plan::Rid { entries, .. } => entries.len() as u64,
+        }
+    }
+
+    /// Pages the cursor has covered so far.
+    pub(crate) fn visited_pages(&self) -> u64 {
+        match self {
+            Plan::Table { visited, .. } => *visited as u64,
+            Plan::Index {
+                visited,
+                block_pages,
+                ..
+            } => *visited as u64 * *block_pages as u64,
+            Plan::Rid { visited, .. } => *visited as u64,
+        }
+    }
+
+    /// A fresh cursor over exactly the already-visited prefix, from the
+    /// range start — the private catch-up lap a push consumer runs after
+    /// joining a driver mid-range. Only meaningful for cursors that
+    /// started at the range start (push drivers always do).
+    pub(crate) fn prefix(&self) -> Plan {
+        match self {
+            Plan::Table { visited, .. } => Plan::Table {
+                num_pages: *visited,
+                start_page: 0,
+                visited: 0,
+            },
+            Plan::Index {
+                entries,
+                block_pages,
+                visited,
+                ..
+            } => Plan::Index {
+                entries: entries[..*visited].to_vec(),
+                block_pages: *block_pages,
+                start_idx: 0,
+                visited: 0,
+            },
+            Plan::Rid {
+                entries, visited, ..
+            } => Plan::Rid {
+                entries: entries[..*visited].to_vec(),
+                start_idx: 0,
+                visited: 0,
+            },
+        }
+    }
+
+    /// The pages the *next* step will touch (table and block index
+    /// plans; RID chunks are not predicted), appended to `out`. Used for
+    /// prefetching.
+    pub(crate) fn peek_next_pages(&self, file: FileId, extent_pages: u32, out: &mut Vec<PageId>) {
+        match self {
+            Plan::Table {
+                num_pages,
+                start_page,
+                visited,
+            } => {
+                if visited >= num_pages {
+                    return;
+                }
+                let cur = (start_page + visited) % num_pages;
+                let chunk = extent_pages.min(num_pages - cur).min(num_pages - visited);
+                out.extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
+            }
+            Plan::Index {
+                entries,
+                block_pages,
+                start_idx,
+                visited,
+            } => {
+                if *visited >= entries.len() {
+                    return;
+                }
+                let e = entries[(start_idx + visited) % entries.len()];
+                let first = e.payload as u32 * block_pages;
+                out.extend((first..first + block_pages).map(|p| PageId::new(file, p)));
+            }
+            Plan::Rid { .. } => {}
+        }
+    }
+}
+
 /// What a step evaluates on its fetched pages.
 #[derive(Clone, Copy)]
-enum StepWork {
+pub(crate) enum StepWork {
     /// Every row of every fetched page (table and block index scans).
     AllRows,
     /// Exactly the `(page, slot)` rows gathered into the step scratch,
@@ -116,7 +348,7 @@ impl PredLeaf {
 /// and the aggregate's column indexes resolved to byte offsets. The row
 /// loop dominates simulator wall time, so it must not touch `Schema`.
 #[derive(Debug)]
-struct RowPipeline {
+pub(crate) struct RowPipeline {
     /// Conjunction of leaves; empty means every row qualifies.
     leaves: Vec<PredLeaf>,
     /// Byte offsets of the float columns in `AggSpec::sum_cols`, in order.
@@ -126,7 +358,7 @@ struct RowPipeline {
 }
 
 impl RowPipeline {
-    fn compile(pred: &Pred, agg: &AggSpec, schema: &Schema) -> RowPipeline {
+    pub(crate) fn compile(pred: &Pred, agg: &AggSpec, schema: &Schema) -> RowPipeline {
         let mut leaves = Vec::new();
         Self::flatten(pred, schema, &mut leaves);
         RowPipeline {
@@ -169,6 +401,108 @@ impl RowPipeline {
     }
 }
 
+/// Aggregation state qualifying rows fold into — the *consume rows* half
+/// of a scan, owned by a pull [`ScanExec`] or by one push consumer. Kept
+/// apart from [`RowPipeline`] so the compiled (immutable) pipeline and
+/// the mutable state can be borrowed independently while row bytes
+/// borrowed from the pool are live.
+#[derive(Debug, Default)]
+pub(crate) struct AggState {
+    count: u64,
+    sums: Vec<f64>,
+    /// Per-group aggregates, kept sorted by packed group key. The paper
+    /// workloads group by at most a handful of `Char` values (TPC-H Q1
+    /// has six groups), so a sorted vec beats hashing every row.
+    groups: Vec<(i64, crate::query::GroupAgg)>,
+}
+
+impl AggState {
+    pub(crate) fn new(n_sums: usize) -> AggState {
+        AggState {
+            count: 0,
+            sums: vec![0.0; n_sums],
+            groups: Vec::new(),
+        }
+    }
+
+    /// The aggregate answer accumulated so far.
+    pub(crate) fn result(&self) -> QueryResult {
+        QueryResult {
+            count: self.count,
+            sums: self.sums.clone(),
+            groups: self.groups.clone(),
+        }
+    }
+
+    /// Fold one qualifying row in.
+    #[inline]
+    fn accumulate(&mut self, pipe: &RowPipeline, bytes: &[u8]) {
+        let field = |off: usize| f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        self.count += 1;
+        for (i, &off) in pipe.sum_offs.iter().enumerate() {
+            self.sums[i] += field(off);
+        }
+        if !pipe.group_offs.is_empty() {
+            let mut key = 0i64;
+            for &off in &pipe.group_offs {
+                key = (key << 8) | bytes[off] as i64;
+            }
+            let at = match self.groups.binary_search_by_key(&key, |g| g.0) {
+                Ok(at) => at,
+                Err(at) => {
+                    let agg = crate::query::GroupAgg {
+                        count: 0,
+                        sums: vec![0.0; pipe.sum_offs.len()],
+                    };
+                    self.groups.insert(at, (key, agg));
+                    at
+                }
+            };
+            let g = &mut self.groups[at].1;
+            g.count += 1;
+            for (i, &off) in pipe.sum_offs.iter().enumerate() {
+                g.sums[i] += field(off);
+            }
+        }
+    }
+}
+
+/// Run `pipe` over every row of the fetched `pages`, folding qualifiers
+/// into `agg` — the shared row loop of both delivery modes. A pull scan
+/// calls it on the pages it fetched itself; the push engine calls it
+/// once per attached consumer on the pages the group driver fixed.
+/// Returns the number of rows examined (the CPU-cost driver).
+pub(crate) fn consume_all_rows(
+    pool: &scanshare_storage::BufferPool,
+    pages: &[(PageId, u32)],
+    width: usize,
+    pipe: &RowPipeline,
+    agg: &mut AggState,
+) -> EngineResult<u64> {
+    let mut rows = 0u64;
+    for &(_, slot) in pages {
+        let page = HeapPage::new(pool.slot_buf(slot))?;
+        // Fixed-width heap pages iterate without per-slot descriptor
+        // decoding; odd layouts take the slow path.
+        if let Some(dense) = page.rows_dense(width) {
+            for row_bytes in dense {
+                rows += 1;
+                if pipe.matches(row_bytes) {
+                    agg.accumulate(pipe, row_bytes);
+                }
+            }
+        } else {
+            for row_bytes in page.rows() {
+                rows += 1;
+                if pipe.matches(row_bytes) {
+                    agg.accumulate(pipe, row_bytes);
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
 /// Measurements a finished scan hands back to its query.
 #[derive(Debug, Clone, Default)]
 pub struct ScanMetrics {
@@ -207,16 +541,124 @@ pub struct ScanExec {
     /// answer, and was evicted from sharing.
     aborted: bool,
     /// Aggregation state.
-    count: u64,
-    sums: Vec<f64>,
-    /// Per-group aggregates, kept sorted by packed group key. The paper
-    /// workloads group by at most a handful of `Char` values (TPC-H Q1
-    /// has six groups), so a sorted vec beats hashing every row.
-    groups: Vec<(i64, crate::query::GroupAgg)>,
+    agg: AggState,
     /// Reusable step buffers.
     scratch: StepScratch,
     /// Metrics.
     pub metrics: ScanMetrics,
+}
+
+/// A planned-but-unstarted scan: the access path resolved into a
+/// [`Plan`] cursor plus the manager registration record. Shared by the
+/// pull executor ([`ScanExec::start`]) and the push engine's group
+/// drivers, so the two delivery modes plan identically.
+pub(crate) struct PlannedScan {
+    pub(crate) file: FileId,
+    pub(crate) schema: Schema,
+    pub(crate) plan: Plan,
+    pub(crate) desc: ScanDesc,
+}
+
+/// Resolve a [`ScanSpec`] against the database: pick the access path,
+/// materialize the cursor skeleton (at the range start), and build the
+/// [`ScanDesc`] a sharing manager registers.
+pub(crate) fn plan_scan(
+    db: &Database,
+    world: &ExecWorld<'_>,
+    spec: &ScanSpec,
+) -> EngineResult<PlannedScan> {
+    let table = db
+        .table(&spec.table)
+        .ok_or_else(|| EngineError::UnknownTable(spec.table.clone()))?;
+    let file = table.file();
+    let schema = table.schema().clone();
+    let rows_per_page = if table.num_pages() == 0 {
+        0
+    } else {
+        table.num_rows() / table.num_pages() as u64
+    };
+
+    // Build the plan skeleton and the manager registration record.
+    let (plan, desc) = match &spec.access {
+        Access::FullTable => {
+            let num_pages = table.num_pages();
+            let desc = ScanDesc {
+                kind: ScanKind::Table,
+                object: ObjectId(file.0 as u64),
+                start_key: 0,
+                end_key: num_pages.saturating_sub(1) as i64,
+                est_pages: num_pages as u64,
+                est_time: ScanExec::estimate_time(world, spec, num_pages as u64, rows_per_page),
+                priority: spec.query_priority,
+            };
+            (
+                Plan::Table {
+                    num_pages,
+                    start_page: 0,
+                    visited: 0,
+                },
+                desc,
+            )
+        }
+        Access::RidRange { lo, hi } => {
+            let index = table
+                .rid_index
+                .as_ref()
+                .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
+            let entries = index.range(db.store(), *lo, *hi)?;
+            // Low-selectivity RID fetches touch roughly one distinct
+            // page per entry, capped by the table size.
+            let est_pages = (entries.len() as u64).min(table.num_pages() as u64);
+            let desc = ScanDesc {
+                kind: ScanKind::Index,
+                object: ObjectId(file.0 as u64),
+                start_key: *lo,
+                end_key: *hi,
+                est_pages,
+                est_time: ScanExec::estimate_time(world, spec, est_pages, 1),
+                priority: spec.query_priority,
+            };
+            (
+                Plan::Rid {
+                    entries,
+                    start_idx: 0,
+                    visited: 0,
+                },
+                desc,
+            )
+        }
+        Access::IndexRange { lo, hi } => {
+            let mdc = table
+                .as_mdc()
+                .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
+            let entries = mdc.blocks_for_range(db.store(), *lo, *hi)?;
+            let est_pages = entries.len() as u64 * mdc.block_pages as u64;
+            let desc = ScanDesc {
+                kind: ScanKind::Index,
+                object: ObjectId(file.0 as u64),
+                start_key: *lo,
+                end_key: *hi,
+                est_pages,
+                est_time: ScanExec::estimate_time(world, spec, est_pages, rows_per_page),
+                priority: spec.query_priority,
+            };
+            (
+                Plan::Index {
+                    entries,
+                    block_pages: mdc.block_pages,
+                    start_idx: 0,
+                    visited: 0,
+                },
+                desc,
+            )
+        }
+    };
+    Ok(PlannedScan {
+        file,
+        schema,
+        plan,
+        desc,
+    })
 }
 
 impl ScanExec {
@@ -229,92 +671,12 @@ impl ScanExec {
         spec: &ScanSpec,
         now: SimTime,
     ) -> EngineResult<ScanExec> {
-        let table = db
-            .table(&spec.table)
-            .ok_or_else(|| EngineError::UnknownTable(spec.table.clone()))?;
-        let file = table.file();
-        let schema = table.schema().clone();
-        let rows_per_page = if table.num_pages() == 0 {
-            0
-        } else {
-            table.num_rows() / table.num_pages() as u64
-        };
-
-        // Build the plan skeleton and the manager registration record.
-        let (mut plan, desc) = match &spec.access {
-            Access::FullTable => {
-                let num_pages = table.num_pages();
-                let desc = ScanDesc {
-                    kind: ScanKind::Table,
-                    object: ObjectId(file.0 as u64),
-                    start_key: 0,
-                    end_key: num_pages.saturating_sub(1) as i64,
-                    est_pages: num_pages as u64,
-                    est_time: Self::estimate_time(world, spec, num_pages as u64, rows_per_page),
-                    priority: spec.query_priority,
-                };
-                (
-                    Plan::Table {
-                        num_pages,
-                        start_page: 0,
-                        visited: 0,
-                    },
-                    desc,
-                )
-            }
-            Access::RidRange { lo, hi } => {
-                let index = table
-                    .rid_index
-                    .as_ref()
-                    .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
-                let entries = index.range(db.store(), *lo, *hi)?;
-                // Low-selectivity RID fetches touch roughly one distinct
-                // page per entry, capped by the table size.
-                let est_pages = (entries.len() as u64).min(table.num_pages() as u64);
-                let desc = ScanDesc {
-                    kind: ScanKind::Index,
-                    object: ObjectId(file.0 as u64),
-                    start_key: *lo,
-                    end_key: *hi,
-                    est_pages,
-                    est_time: Self::estimate_time(world, spec, est_pages, 1),
-                    priority: spec.query_priority,
-                };
-                (
-                    Plan::Rid {
-                        entries,
-                        start_idx: 0,
-                        visited: 0,
-                    },
-                    desc,
-                )
-            }
-            Access::IndexRange { lo, hi } => {
-                let mdc = table
-                    .as_mdc()
-                    .ok_or_else(|| EngineError::NotClustered(spec.table.clone()))?;
-                let entries = mdc.blocks_for_range(db.store(), *lo, *hi)?;
-                let est_pages = entries.len() as u64 * mdc.block_pages as u64;
-                let desc = ScanDesc {
-                    kind: ScanKind::Index,
-                    object: ObjectId(file.0 as u64),
-                    start_key: *lo,
-                    end_key: *hi,
-                    est_pages,
-                    est_time: Self::estimate_time(world, spec, est_pages, rows_per_page),
-                    priority: spec.query_priority,
-                };
-                (
-                    Plan::Index {
-                        entries,
-                        block_pages: mdc.block_pages,
-                        start_idx: 0,
-                        visited: 0,
-                    },
-                    desc,
-                )
-            }
-        };
+        let PlannedScan {
+            file,
+            schema,
+            mut plan,
+            desc,
+        } = plan_scan(db, world, spec)?;
 
         // Placement: ask the manager where to start. Scope toggles let
         // experiments run table-scan sharing alone (ICDE scope) or with
@@ -408,9 +770,7 @@ impl ScanExec {
             ring,
             needs_wrap: false,
             aborted: false,
-            count: 0,
-            sums: vec![0.0; n_sums],
-            groups: Vec::new(),
+            agg: AggState::new(n_sums),
             scratch: StepScratch::default(),
             metrics: ScanMetrics::default(),
         })
@@ -439,66 +799,12 @@ impl ScanExec {
 
     /// Whether the scan has processed its whole range.
     pub fn finished(&self) -> bool {
-        match &self.plan {
-            Plan::Table {
-                num_pages, visited, ..
-            } => *visited >= *num_pages,
-            Plan::Index {
-                entries, visited, ..
-            } => *visited >= entries.len(),
-            Plan::Rid {
-                entries, visited, ..
-            } => *visited >= entries.len(),
-        }
+        self.plan.done()
     }
 
     /// The scan's answer (valid once finished).
     pub fn result(&self) -> QueryResult {
-        QueryResult {
-            count: self.count,
-            sums: self.sums.clone(),
-            groups: self.groups.clone(),
-        }
-    }
-
-    /// Fold one qualifying row into the aggregation state. Free-standing
-    /// over disjoint fields so row bytes borrowing the pool can be live
-    /// at the call site.
-    #[inline]
-    fn accumulate(
-        pipe: &RowPipeline,
-        count: &mut u64,
-        sums: &mut [f64],
-        groups: &mut Vec<(i64, crate::query::GroupAgg)>,
-        bytes: &[u8],
-    ) {
-        let field = |off: usize| f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-        *count += 1;
-        for (i, &off) in pipe.sum_offs.iter().enumerate() {
-            sums[i] += field(off);
-        }
-        if !pipe.group_offs.is_empty() {
-            let mut key = 0i64;
-            for &off in &pipe.group_offs {
-                key = (key << 8) | bytes[off] as i64;
-            }
-            let at = match groups.binary_search_by_key(&key, |g| g.0) {
-                Ok(at) => at,
-                Err(at) => {
-                    let agg = crate::query::GroupAgg {
-                        count: 0,
-                        sums: vec![0.0; pipe.sum_offs.len()],
-                    };
-                    groups.insert(at, (key, agg));
-                    at
-                }
-            };
-            let g = &mut groups[at].1;
-            g.count += 1;
-            for (i, &off) in pipe.sum_offs.iter().enumerate() {
-                g.sums[i] += field(off);
-            }
-        }
+        self.agg.result()
     }
 
     /// The manager id of this scan, if shared.
@@ -574,41 +880,6 @@ impl ScanExec {
         &self.placement
     }
 
-    /// The pages the *next* step will touch (table and block index
-    /// plans; RID chunks are not predicted), appended to `out`. Used for
-    /// prefetching. Free-standing over the plan so the caller can fill a
-    /// scratch buffer it holds alongside other borrows of `self`.
-    fn peek_next_pages(plan: &Plan, file: FileId, extent_pages: u32, out: &mut Vec<PageId>) {
-        match plan {
-            Plan::Table {
-                num_pages,
-                start_page,
-                visited,
-            } => {
-                if visited >= num_pages {
-                    return;
-                }
-                let cur = (start_page + visited) % num_pages;
-                let chunk = extent_pages.min(num_pages - cur).min(num_pages - visited);
-                out.extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
-            }
-            Plan::Index {
-                entries,
-                block_pages,
-                start_idx,
-                visited,
-            } => {
-                if *visited >= entries.len() {
-                    return;
-                }
-                let e = entries[(start_idx + visited) % entries.len()];
-                let first = e.payload as u32 * block_pages;
-                out.extend((first..first + block_pages).map(|p| PageId::new(file, p)));
-            }
-            Plan::Rid { .. } => {}
-        }
-    }
-
     /// Advance by one extent. Returns the time at which the scan may take
     /// its next step, or `None` once it has finished (the manager is
     /// deregistered at that point).
@@ -628,100 +899,17 @@ impl ScanExec {
         }
 
         // Gather this extent's pages (into the reusable scratch), what to
-        // evaluate on them, and the location reported afterwards.
+        // evaluate on them, and the location reported afterwards — the
+        // *advance the cursor* half of the step, shared with push-mode
+        // group drivers via [`Plan::gather`].
         self.scratch.ids.clear();
         self.scratch.rids.clear();
-        let (work, location, units, wrap_after) = match &self.plan {
-            Plan::Table {
-                num_pages,
-                start_page,
-                visited,
-            } => {
-                let cur = (start_page + visited) % num_pages;
-                // Do not cross the wrap boundary within one extent.
-                let chunk = world
-                    .cfg
-                    .extent_pages
-                    .min(num_pages - cur)
-                    .min(num_pages - visited);
-                let file = self.file;
-                self.scratch
-                    .ids
-                    .extend((cur..cur + chunk).map(|p| PageId::new(file, p)));
-                let last = cur + chunk - 1;
-                let wraps = cur + chunk == *num_pages && visited + chunk < *num_pages;
-                (
-                    StepWork::AllRows,
-                    Location::new(last as i64, last as u64),
-                    chunk as u64,
-                    wraps,
-                )
-            }
-            Plan::Index {
-                entries,
-                block_pages,
-                start_idx,
-                visited,
-            } => {
-                let idx = (start_idx + visited) % entries.len();
-                let e = entries[idx];
-                let first_page = e.payload as u32 * block_pages;
-                let file = self.file;
-                self.scratch
-                    .ids
-                    .extend((first_page..first_page + block_pages).map(|p| PageId::new(file, p)));
-                let wraps = idx + 1 == entries.len() && visited + 1 < entries.len();
-                (
-                    StepWork::AllRows,
-                    Location::new(e.key, e.payload),
-                    1u64,
-                    wraps,
-                )
-            }
-            Plan::Rid {
-                entries,
-                start_idx,
-                visited,
-            } => {
-                // Consume entries until the chunk spans one extent's
-                // worth of distinct pages (or the phase boundary).
-                let len = entries.len();
-                let extent = world.cfg.extent_pages as usize;
-                let max_entries = extent * 32;
-                let ids = &mut self.scratch.ids;
-                let rids = &mut self.scratch.rids;
-                let mut taken = 0usize;
-                let mut last = entries[(start_idx + visited) % len];
-                while visited + taken < len && taken < max_entries {
-                    let e = entries[(start_idx + visited + taken) % len];
-                    let rid = Rid::unpack(e.payload);
-                    let pid = PageId::new(self.file, rid.page);
-                    if !ids.contains(&pid) {
-                        if ids.len() == extent {
-                            break;
-                        }
-                        ids.push(pid);
-                    }
-                    rids.push((pid, rid.slot));
-                    last = e;
-                    taken += 1;
-                    // Never cross the wrap boundary within one chunk.
-                    if (start_idx + visited + taken).is_multiple_of(len) {
-                        break;
-                    }
-                }
-                let after = visited + taken;
-                let wraps = (start_idx + after).is_multiple_of(len) && after < len;
-                (
-                    StepWork::Rids {
-                        distinct_pages: ids.len() as u64,
-                    },
-                    Location::new(last.key, last.payload),
-                    taken as u64,
-                    wraps,
-                )
-            }
-        };
+        let (work, location, units, wrap_after) = self.plan.gather(
+            self.file,
+            world.cfg.extent_pages,
+            &mut self.scratch.ids,
+            &mut self.scratch.rids,
+        );
 
         // A pending wrap from the previous step is reported before new
         // work: the scan is now at the start of its second phase.
@@ -792,38 +980,8 @@ impl ScanExec {
         let pipe = &self.pipeline;
         match work {
             StepWork::AllRows => {
-                for &(_, slot) in &self.scratch.pages {
-                    let page = HeapPage::new(world.pool.slot_buf(slot))?;
-                    // Fixed-width heap pages iterate without per-slot
-                    // descriptor decoding; odd layouts take the slow path.
-                    if let Some(dense) = page.rows_dense(width) {
-                        for row_bytes in dense {
-                            rows += 1;
-                            if pipe.matches(row_bytes) {
-                                Self::accumulate(
-                                    pipe,
-                                    &mut self.count,
-                                    &mut self.sums,
-                                    &mut self.groups,
-                                    row_bytes,
-                                );
-                            }
-                        }
-                    } else {
-                        for row_bytes in page.rows() {
-                            rows += 1;
-                            if pipe.matches(row_bytes) {
-                                Self::accumulate(
-                                    pipe,
-                                    &mut self.count,
-                                    &mut self.sums,
-                                    &mut self.groups,
-                                    row_bytes,
-                                );
-                            }
-                        }
-                    }
-                }
+                rows =
+                    consume_all_rows(&world.pool, &self.scratch.pages, width, pipe, &mut self.agg)?;
             }
             StepWork::Rids { .. } => {
                 // Evaluate exactly the indexed rows; `scratch.pages` is
@@ -838,23 +996,12 @@ impl ScanExec {
                     let page = HeapPage::new(world.pool.slot_buf(pages[at].1))?;
                     let row_bytes = page.row_bytes(slot)?;
                     if pipe.matches(row_bytes) {
-                        Self::accumulate(
-                            pipe,
-                            &mut self.count,
-                            &mut self.sums,
-                            &mut self.groups,
-                            row_bytes,
-                        );
+                        self.agg.accumulate(pipe, row_bytes);
                     }
                 }
             }
         }
-        let pages_advanced = match (&self.plan, work) {
-            (Plan::Table { .. }, _) => units,
-            (Plan::Index { block_pages, .. }, _) => units * *block_pages as u64,
-            (Plan::Rid { .. }, StepWork::Rids { distinct_pages }) => distinct_pages,
-            (Plan::Rid { .. }, _) => unreachable!("RID plans produce RID work"),
-        };
+        let pages_advanced = self.plan.pages_advanced(work, units);
         let cost = self.cpu.extent_cost(self.scratch.ids.len() as u64, rows);
         let done = world.run_cpu(fetch.ready, cost);
         self.metrics.cpu += cost;
@@ -911,17 +1058,13 @@ impl ScanExec {
         }
 
         // Advance.
-        match &mut self.plan {
-            Plan::Table { visited, .. } => *visited += units as u32,
-            Plan::Index { visited, .. } | Plan::Rid { visited, .. } => *visited += units as usize,
-        }
+        self.plan.advance(units);
         if wrap_after {
             self.needs_wrap = true;
         }
         if world.cfg.prefetch_extents > 0 && !self.finished() {
             self.scratch.prefetch.clear();
-            Self::peek_next_pages(
-                &self.plan,
+            self.plan.peek_next_pages(
                 self.file,
                 world.cfg.extent_pages,
                 &mut self.scratch.prefetch,

@@ -305,6 +305,7 @@ mod tests {
             policy: None,
             profile: None,
             slo: vec![],
+            push: None,
         }
     }
 

@@ -26,6 +26,7 @@ use crate::error::EngineResult;
 use crate::exec::ExecWorld;
 use crate::faults::FaultsConfig;
 use crate::metrics::{QueryRecord, RunReport};
+use crate::push::{ConsumerId, PushEngine};
 use crate::query::{Query, QueryResult};
 use crate::scan_exec::{ScanExec, ScanMetrics};
 
@@ -75,6 +76,13 @@ pub struct WorkloadSpec {
     pub slo: crate::slo::SloConfig,
 }
 
+/// The stream's in-flight scan: its own pull cursor, or a consumer slot
+/// in the run's push-delivery engine.
+enum CurScan {
+    Pull(Box<ScanExec>),
+    Push(ConsumerId),
+}
+
 /// Progress of one stream through its queries.
 struct StreamTask<'q> {
     stream_idx: usize,
@@ -83,7 +91,7 @@ struct StreamTask<'q> {
     scan_pos: usize,
     /// Executions of the current scan so far (for `ScanSpec::repeat`).
     rep: u32,
-    current: Option<ScanExec>,
+    current: Option<CurScan>,
     qstart: SimTime,
     qresult: QueryResult,
     qmetrics: ScanMetrics,
@@ -113,6 +121,7 @@ impl<'q> StreamTask<'q> {
         &mut self,
         db: &Database,
         world: &mut ExecWorld<'_>,
+        push: &mut Option<PushEngine>,
         now: SimTime,
     ) -> EngineResult<Option<SimTime>> {
         loop {
@@ -149,27 +158,64 @@ impl<'q> StreamTask<'q> {
                     self.rep = 0;
                     continue;
                 }
-                let scan = ScanExec::start(db, world, &q.scans[self.scan_pos], now)?;
-                if let (Some(tr), Some(id)) = (&world.tracer, scan.scan_id()) {
-                    tr.record(
-                        now,
-                        crate::trace::TraceEvent::ScanStarted {
-                            scan: id,
-                            query: q.name.clone(),
-                            stream: self.stream_idx,
-                            placement: scan.placement_label().to_string(),
-                        },
-                    );
-                }
-                self.current = Some(scan);
+                let spec = &q.scans[self.scan_pos];
+                // Push delivery first; specs it cannot share (RID
+                // fetches, order-requiring scans) fall back to pull.
+                let cur = match push.as_mut().map(|pe| pe.admit(db, world, spec, now)) {
+                    Some(admitted) => admitted?.map(CurScan::Push),
+                    None => None,
+                };
+                let cur = match cur {
+                    Some(cur) => {
+                        if let (Some(tr), Some(pe)) = (&world.tracer, push.as_ref()) {
+                            let CurScan::Push(cid) = &cur else {
+                                unreachable!("just admitted")
+                            };
+                            tr.record(
+                                now,
+                                crate::trace::TraceEvent::ScanStarted {
+                                    scan: pe.scan_id(*cid),
+                                    query: q.name.clone(),
+                                    stream: self.stream_idx,
+                                    placement: pe.placement_label(*cid).to_string(),
+                                },
+                            );
+                        }
+                        cur
+                    }
+                    None => {
+                        let scan = ScanExec::start(db, world, spec, now)?;
+                        if let (Some(tr), Some(id)) = (&world.tracer, scan.scan_id()) {
+                            tr.record(
+                                now,
+                                crate::trace::TraceEvent::ScanStarted {
+                                    scan: id,
+                                    query: q.name.clone(),
+                                    stream: self.stream_idx,
+                                    placement: scan.placement_label().to_string(),
+                                },
+                            );
+                        }
+                        CurScan::Pull(Box::new(scan))
+                    }
+                };
+                self.current = Some(cur);
             }
-            let scan = self.current.as_mut().expect("just set");
-            match scan.step(world, now)? {
+            let stepped = match self.current.as_mut().expect("just set") {
+                CurScan::Pull(scan) => scan.step(world, now)?,
+                CurScan::Push(cid) => push
+                    .as_mut()
+                    .expect("push scan implies push engine")
+                    .step_consumer(world, *cid, now)?,
+            };
+            match stepped {
                 Some(next) => return Ok(Some(next)),
                 None => {
-                    let scan = self.current.take().expect("present");
-                    self.qresult.absorb(scan.result());
-                    let m = &scan.metrics;
+                    let (result, m) = match self.current.take().expect("present") {
+                        CurScan::Pull(scan) => (scan.result(), scan.metrics.clone()),
+                        CurScan::Push(cid) => push.as_mut().expect("push engine").take_result(cid),
+                    };
+                    self.qresult.absorb(result);
                     self.qmetrics.cpu += m.cpu;
                     self.qmetrics.io_wait += m.io_wait;
                     self.qmetrics.throttle_wait += m.throttle_wait;
@@ -304,6 +350,14 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
     if !spec.faults.is_empty() {
         world.enable_faults(&spec.faults);
     }
+    // Push delivery rides on the sharing manager; base modes and pull
+    // configs run the exact pre-push code path (and report bytes).
+    let mut push: Option<PushEngine> = match &spec.mode {
+        SharingMode::ScanSharing(cfg) if cfg.delivery == scanshare::DeliveryMode::Push => {
+            Some(PushEngine::new())
+        }
+        _ => None,
+    };
 
     let mut tasks: Vec<StreamTask<'_>> = spec
         .streams
@@ -347,7 +401,7 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
             p.attr(s, "stream", i.to_string());
             s
         });
-        let stepped = tasks[i].step(db, &mut world, now);
+        let stepped = tasks[i].step(db, &mut world, &mut push, now);
         match &stepped {
             Ok(Some(next)) => {
                 if let (Some(p), Some(s)) = (&profiler, step_span) {
@@ -442,6 +496,7 @@ fn run_inner(db: &Database, spec: &WorkloadSpec, hooks: RunHooks) -> EngineResul
         // closes (the engine only sees the middle of the span tree).
         profile: None,
         slo: Vec::new(),
+        push: push.as_ref().map(|pe| pe.summary()),
     };
     if !spec.slo.is_empty() {
         report.slo = crate::slo::evaluate(&spec.slo, &report);
@@ -672,6 +727,80 @@ mod tests {
             base.disk.pages_read
         );
         assert_eq!(ss.queries[0].result.count, 200_000);
+    }
+
+    #[test]
+    fn push_delivery_matches_pull_answers_and_fixes_pages_once() {
+        use scanshare::DeliveryMode;
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        // Tighter stagger than three_staggered: the default policy only
+        // accepts riders whose missed prefix is at most a fifth of the
+        // lap, and 100ms into this scan is already past that budget.
+        // 10ms apart keeps the catch-up replays short enough to attach
+        // while still being late enough that catch-up pages are paid.
+        let streams: Vec<Stream> = (0..3)
+            .map(|i| Stream {
+                queries: vec![q.clone()],
+                start_offset: SimDuration::from_millis(i * 10),
+            })
+            .collect();
+        let mk = |delivery| {
+            let mut cfg = SharingConfig::new(0);
+            cfg.delivery = delivery;
+            spec(&db, streams.clone(), SharingMode::ScanSharing(cfg))
+        };
+        let pull = run_workload(&db, &mk(DeliveryMode::Pull)).unwrap();
+        let push = run_workload(&db, &mk(DeliveryMode::Push)).unwrap();
+        // Same answers, per query.
+        assert_eq!(pull.queries.len(), push.queries.len());
+        for (a, b) in pull.queries.iter().zip(&push.queries) {
+            assert_eq!(a.result.count, b.result.count);
+            for (x, y) in a.result.sums.iter().zip(&b.result.sums) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+        // Pull reports carry no push section; push reports do, with the
+        // one-fix-per-page property: driver fixes plus catch-up replays,
+        // never one fix per consumer.
+        assert!(pull.push.is_none());
+        let ps = push.push.as_ref().expect("push summary");
+        assert!(ps.drivers >= 1, "no driver founded: {ps:?}");
+        assert!(ps.attaches >= 1, "nobody rode along: {ps:?}");
+        assert!(ps.extents_delivered > 0);
+        assert!(ps.consumer_pages > ps.pages_delivered, "{ps:?}");
+        assert!(
+            ps.fixes_per_page() < 2.0,
+            "catch-up replays exceeded a full second lap: {ps:?}"
+        );
+        // Provenance narrates the cohort: one DriverAttach per consumer.
+        use scanshare::DecisionEvent;
+        let attaches = push
+            .decisions
+            .iter()
+            .filter(|d| matches!(d.event, DecisionEvent::DriverAttach { .. }))
+            .count();
+        assert_eq!(attaches as u64, ps.drivers + ps.attaches);
+        // The driver pays the pool fixes; riders pay none beyond their
+        // private catch-up cursors.
+        let fixes: u64 = push.queries.iter().map(|q| q.logical_reads).sum();
+        assert_eq!(fixes, ps.pages_delivered + ps.catchup_pages);
+    }
+
+    #[test]
+    fn push_runs_are_deterministic() {
+        use scanshare::DeliveryMode;
+        let db = build_db();
+        let q = q6_like("Q6", 0, 11);
+        let mut cfg = SharingConfig::new(0);
+        cfg.delivery = DeliveryMode::Push;
+        let s = spec(&db, three_staggered(&q), SharingMode::ScanSharing(cfg));
+        let r1 = run_workload(&db, &s).unwrap();
+        let r2 = run_workload(&db, &s).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
     }
 
     #[test]

@@ -63,6 +63,38 @@ rm -f "$trend_ledger"
 cargo run --offline --release -q -p scanshare-cli --bin scanshare -- \
     history --ledger results/history.jsonl --check
 
+echo "== push-delivery smoke gate (vs committed push baseline) =="
+# Push-mode leg of the perf gate: the same pinned smoke workload run
+# with --delivery push gates its 8 virtual metrics against the push
+# mode's own committed baseline (one group driver changes the fix
+# economics on purpose, so it can never share the pull baseline). Both
+# modes append to a throwaway ledger; the push entry must carry its
+# delivery tag and the history renderer must trend it as a separate
+# push:<metric> series instead of splicing it into the pull series.
+push_ledger=$(mktemp)
+cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke.json --history "$push_ledger" >/dev/null
+cargo run --offline --release -q -p scanshare-bench --bin bench_gate -- \
+    --gate results/baseline_smoke_push.json --delivery push --history "$push_ledger"
+if ! grep -q '"delivery":"push"' "$push_ledger"; then
+    echo "FAIL: push-mode gate run did not tag its ledger entry"
+    rm -f "$push_ledger"
+    exit 1
+fi
+if [ "$(wc -l < "$push_ledger")" -ne 2 ]; then
+    echo "FAIL: expected 2 ledger entries (pull + push), got $(wc -l < "$push_ledger")"
+    rm -f "$push_ledger"
+    exit 1
+fi
+push_trend=$(cargo run --offline --release -q -p scanshare-cli --bin scanshare -- \
+    history --ledger "$push_ledger")
+rm -f "$push_ledger"
+if ! echo "$push_trend" | grep -q 'push:ss_makespan_us'; then
+    echo "FAIL: history did not trend the push entry as its own series"
+    exit 1
+fi
+echo "push smoke gated against its baseline; ledger trends both modes separately"
+
 echo "== span-profiler smoke (informational, not gated) =="
 # Record and render a fresh profile of the built-in smoke run: exercises
 # the span subsystem end-to-end (begin/end nesting, Perfetto export

@@ -134,6 +134,7 @@ fn run_cmd(spec_path: &std::path::Path, outputs: RunOutputs) -> i32 {
         faults: None,
         compare: false,
         policy: None,
+        delivery: None,
         outputs,
     })
 }

@@ -174,6 +174,166 @@ fn fault_injection_is_deterministic_and_answer_preserving() {
     }
 }
 
+/// Push delivery is invariant to the order streams are listed in the
+/// spec: for any mix of overlapping index scans with distinct start
+/// offsets, permuting the stream vector changes neither `pages_read`
+/// nor any query's answer or fix counts — the group drivers deliver
+/// the same pages no matter where each consumer sat in the listing.
+#[test]
+fn push_delivery_is_stream_order_invariant() {
+    use scanshare_repro::core::DeliveryMode;
+    let db = small_db(12, 30_000);
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x9054_0000 + case);
+        let n = rng.random_range(2..6usize);
+        let mut streams: Vec<Stream> = (0..n)
+            .map(|i| {
+                let (a, b) = (rng.random_range(0i64..12), rng.random_range(0i64..12));
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                Stream {
+                    queries: vec![index_query(&format!("q{i}"), lo, hi)],
+                    // Distinct offsets: arrival order stays fixed, only
+                    // the listing order changes under the permutation.
+                    start_offset: SimDuration::from_micros(
+                        rng.random_range(0u64..400) * 1_000 + i as u64,
+                    ),
+                }
+            })
+            .collect();
+        let mut cfg = SharingConfig::new(0);
+        cfg.delivery = DeliveryMode::Push;
+        let spec = |streams: Vec<Stream>| WorkloadSpec {
+            streams,
+            pool_pages: 64,
+            engine: EngineConfig::default(),
+            mode: SharingMode::ScanSharing(cfg.clone()),
+            faults: Default::default(),
+            slo: Default::default(),
+        };
+        let a = run_workload(&db, &spec(streams.clone())).unwrap();
+        assert!(a.push.is_some(), "case {case}: push summary missing");
+        for _ in 0..8 {
+            let (x, y) = (rng.random_range(0..n), rng.random_range(0..n));
+            streams.swap(x, y);
+        }
+        let b = run_workload(&db, &spec(streams)).unwrap();
+        assert_eq!(a.disk.pages_read, b.disk.pages_read, "case {case}");
+        let sorted = |r: &scanshare_repro::engine::RunReport| {
+            let mut q = r.queries.clone();
+            q.sort_by_key(|q| q.name.clone());
+            q
+        };
+        let (qa, qb) = (sorted(&a), sorted(&b));
+        assert_eq!(qa.len(), qb.len(), "case {case}");
+        for (x, y) in qa.iter().zip(&qb) {
+            assert_eq!(x.name, y.name, "case {case}");
+            assert_eq!(x.result, y.result, "case {case}: answers must not move");
+            assert_eq!(x.logical_reads, y.logical_reads, "case {case}");
+            assert_eq!(x.physical_reads, y.physical_reads, "case {case}");
+        }
+    }
+}
+
+/// A push consumer that faults during its private catch-up replay is
+/// evicted alone: the group driver and the riders that already finished
+/// keep byte-identical query records, answers included, and the driver
+/// role never moves.
+#[test]
+fn faulted_push_consumer_eviction_leaves_survivors_byte_stable() {
+    use scanshare_repro::core::{DecisionEvent, DeliveryMode, SharingPolicyKind};
+    use scanshare_repro::engine::FaultsConfig;
+    use scanshare_repro::storage::{FaultKind, FaultPlan, FaultRule};
+
+    let db = small_db(12, 30_000);
+    // The attach policy accepts any catch-up distance, so a very late
+    // third stream still rides the existing driver and replays a long
+    // prefix privately — stretching its life past the survivors'.
+    let mut cfg = SharingConfig::with_policy(0, SharingPolicyKind::Attach);
+    cfg.delivery = DeliveryMode::Push;
+    let spec = |late_us: u64, faults: FaultsConfig| WorkloadSpec {
+        streams: vec![
+            Stream {
+                queries: vec![index_query("q0", 0, 11)],
+                start_offset: SimDuration::from_micros(0),
+            },
+            Stream {
+                queries: vec![index_query("q1", 0, 11)],
+                start_offset: SimDuration::from_millis(1),
+            },
+            Stream {
+                queries: vec![index_query("q2", 0, 11)],
+                start_offset: SimDuration::from_micros(late_us),
+            },
+        ],
+        pool_pages: 64,
+        engine: EngineConfig::default(),
+        mode: SharingMode::ScanSharing(cfg.clone()),
+        faults,
+        slo: Default::default(),
+    };
+    // Calibrate: the driver's lap length with everyone starting early,
+    // then re-run with the third stream joining at 80% of that lap.
+    let probe = run_workload(&db, &spec(2_000, FaultsConfig::default())).unwrap();
+    let late_us = (probe.makespan.as_micros() as f64 * 0.8) as u64;
+    let clean = run_workload(&db, &spec(late_us, FaultsConfig::default())).unwrap();
+    let ps = clean.push.as_ref().expect("push summary");
+    assert_eq!(ps.drivers, 1, "everyone shares one driver: {ps:?}");
+    assert_eq!(ps.attaches, 2, "{ps:?}");
+    assert!(ps.catchup_pages > 0, "late joiner must replay a prefix");
+    let by_name = |r: &scanshare_repro::engine::RunReport, name: &str| {
+        r.queries
+            .iter()
+            .find(|q| q.name == name)
+            .cloned()
+            .unwrap_or_else(|| panic!("query {name} missing"))
+    };
+    let survivors_end = by_name(&clean, "q0").end.max(by_name(&clean, "q1").end);
+    let victim_end = by_name(&clean, "q2").end;
+    assert!(
+        victim_end > survivors_end,
+        "catch-up must outlive the lap: victim {victim_end:?} vs survivors {survivors_end:?}"
+    );
+    // Kill the disk for good halfway through the victim-only window:
+    // the only scan still reading is q2's catch-up cursor.
+    let mid_us = (survivors_end.as_micros() + victim_end.as_micros()) / 2;
+    let faults = FaultsConfig {
+        plan: FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule {
+                device: None,
+                pages: None,
+                from_us: mid_us,
+                until_us: None,
+                fault: FaultKind::PermanentError,
+            }],
+        },
+        ..FaultsConfig::default()
+    };
+    let faulted = run_workload(&db, &spec(late_us, faults)).unwrap();
+    assert_eq!(faulted.faults.scans_aborted, 1, "{:?}", faulted.faults);
+    let fps = faulted.push.as_ref().expect("push summary");
+    assert_eq!(fps.handoffs, 0, "the driver itself never faulted: {fps:?}");
+    assert_eq!(fps.drivers, 1, "{fps:?}");
+    // Survivors are byte-stable: the fault fired after they finished.
+    for name in ["q0", "q1"] {
+        assert_eq!(
+            serde_json::to_string(&by_name(&clean, name)).unwrap(),
+            serde_json::to_string(&by_name(&faulted, name)).unwrap(),
+            "survivor {name} perturbed by the victim's eviction"
+        );
+    }
+    // The victim carries a partial answer and an eviction decision
+    // naming the permanent fault.
+    assert!(
+        by_name(&faulted, "q2").result.count < by_name(&clean, "q2").result.count,
+        "victim must be cut short"
+    );
+    assert!(faulted.decisions.iter().any(|d| matches!(
+        &d.event,
+        DecisionEvent::ScanEvicted { reason, .. } if reason.contains("permanent read fault")
+    )));
+}
+
 /// The B+ tree agrees with a sorted-vector model for any entry set.
 #[test]
 fn btree_matches_model() {
